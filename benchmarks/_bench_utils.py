@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  Formatted
+tables are written to ``benchmarks/results/*.txt`` (and echoed to stdout)
+so EXPERIMENTS.md can reference the latest run.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FAST=1`` shrinks the measured workloads (CI-sized run).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def smooth_field(grid, dtype=np.float64) -> np.ndarray:
+    """A smooth periodic scalar test field (band-limited, modes <= 2)."""
+    x1, x2, x3 = grid.coords(dtype)
+    return (np.sin(x1) * np.cos(2 * x2) + 0.5 * np.sin(x3)).astype(dtype) \
+        * np.ones(grid.shape, dtype=dtype)
+
+
+def write_table(name: str, text: str) -> str:
+    """Persist a formatted table under benchmarks/results and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text.rstrip() + "\n")
+    print(f"\n=== {name} ===\n{text}")
+    return path
+
+
+def fmt(x: float) -> str:
+    """Paper-style scientific formatting (e.g. 1.77e-02)."""
+    return f"{x:.2e}"
+
+
+def fmt_pct(x: float) -> str:
+    return f"{100.0 * x:5.1f}"
+
+
+def iters_to(history, tol: float) -> int:
+    """First iteration index at which a residual history drops below tol
+    (len(history) if never)."""
+    for i, r in enumerate(history):
+        if r <= tol:
+            return i
+    return len(history)

@@ -1,0 +1,135 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* interpolation order (GPU-TXTLIN vs GPU-TXTLAG): accuracy vs modeled cost;
+* storing grad(m) for all time steps (identical numerics, ~15% modeled
+  runtime, higher memory);
+* refreshing the H0 template with the deformed image each GN iteration
+  (one of the paper's "twists");
+* the P2P/MPI all-to-all selection rule vs pinning either implementation.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import FAST, write_table
+from repro import RegistrationConfig, register
+from repro.data.brain import brain_pair
+from repro.dist.memory import memory_per_gpu_bytes
+from repro.dist.models import fft_transpose_message_bytes, model_fft_phases
+from repro.dist.perfmodel import PerfModel
+from repro.dist.topology import ClusterSpec
+
+N = 16 if FAST else 24
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return brain_pair((N, N, N), template_subject=10, reference_subject=1)
+
+
+def test_ablation_interp_order(benchmark, pair):
+    m0, m1 = pair
+
+    def run():
+        out = {}
+        for order in (1, 3):
+            cfg = RegistrationConfig(beta=1e-3, nt=4, interp_order=order,
+                                     preconditioner="invH0")
+            out[order] = register(m0, m1, cfg)
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    pm = PerfModel(ClusterSpec(nodes=1, gpus_per_node=1))
+    n = N**3
+    lines = [
+        f"order=1 (TXTLIN): mismatch={res[1].mismatch:.4f} "
+        f"GN={res[1].counters.gn_iters} "
+        f"modeled kernel cost/interp={pm.interp_time(n, 1):.2e}s",
+        f"order=3 (TXTLAG): mismatch={res[3].mismatch:.4f} "
+        f"GN={res[3].counters.gn_iters} "
+        f"modeled kernel cost/interp={pm.interp_time(n, 3):.2e}s",
+    ]
+    write_table("ablation_interp_order", "\n".join(lines))
+    # both orders must register; cubic costs ~5x per point in the model
+    assert res[1].mismatch < 0.6 and res[3].mismatch < 0.6
+    assert pm.interp_time(n, 3) > 3 * pm.interp_time(n, 1)
+
+
+def test_ablation_store_state_grad(benchmark, pair):
+    """Storing grad(m) must not change the numerics at all — only the
+    memory footprint (and the modeled runtime, tested in bench_speedups)."""
+    m0, m1 = pair
+
+    def run():
+        out = {}
+        for store in (False, True):
+            cfg = RegistrationConfig(beta=1e-3, nt=4, interp_order=1,
+                                     preconditioner="invH0",
+                                     store_state_grad=store)
+            out[store] = register(m0, m1, cfg)
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.allclose(res[False].velocity, res[True].velocity, atol=1e-10)
+    assert res[False].counters.pcg_iters == res[True].counters.pcg_iters
+    # memory model: storing costs 3*(Nt+1)*N extra words
+    base = memory_per_gpu_bytes((256,) * 3, nt=4, p=1)
+    extra = 3 * (4 + 1) * 256**3 * 4
+    write_table("ablation_store_state_grad",
+                f"identical iterates: True\n"
+                f"memory 256^3: base={base / 1024**3:.2f} GB, "
+                f"+grad storage={(base + extra) / 1024**3:.2f} GB")
+
+
+def test_ablation_h0_template_refresh(benchmark, pair):
+    """Refreshing m0 in H0 with the deformed template (paper twist #2)
+    keeps the preconditioner effective away from v=0."""
+    m0, m1 = pair
+
+    def run():
+        out = {}
+        for refresh in (True, False):
+            cfg = RegistrationConfig(beta=1e-3, nt=4, interp_order=1,
+                                     preconditioner="invH0",
+                                     h0_refresh_template=refresh)
+            out[refresh] = register(m0, m1, cfg)
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_table(
+        "ablation_h0_refresh",
+        f"refresh=True : PCG={res[True].counters.pcg_iters} "
+        f"innerCG={res[True].counters.h0_cg_iters} "
+        f"mismatch={res[True].mismatch:.4f}\n"
+        f"refresh=False: PCG={res[False].counters.pcg_iters} "
+        f"innerCG={res[False].counters.h0_cg_iters} "
+        f"mismatch={res[False].mismatch:.4f}")
+    # both converge to comparable quality; refresh must not be worse in
+    # outer PCG iterations
+    assert res[True].counters.pcg_iters <= res[False].counters.pcg_iters + 5
+    assert abs(res[True].mismatch - res[False].mismatch) < 0.15
+
+
+def test_ablation_alltoall_selection(benchmark):
+    """The 512 kB switch (paper §3.3): 'auto' tracks the better scheme."""
+
+    def run():
+        rows = []
+        for shape in [(256,) * 3, (512,) * 3, (1024,) * 3]:
+            for p in (8, 32, 128):
+                msg = fft_transpose_message_bytes(shape, p)
+                t = {m: model_fft_phases(shape, p, method=m).total
+                     for m in ("p2p", "mpi", "auto")}
+                rows.append((shape[0], p, msg, t))
+        return rows
+
+    rows = benchmark(run)
+    lines = [f"{'N':>6} {'p':>4} {'msg(kB)':>9} {'p2p':>9} {'mpi':>9} "
+             f"{'auto':>9}"]
+    for n, p, msg, t in rows:
+        lines.append(f"{n:>5}^3 {p:>4} {msg / 1024:9.0f} "
+                     f"{t['p2p'] * 1e3:8.2f}m {t['mpi'] * 1e3:8.2f}m "
+                     f"{t['auto'] * 1e3:8.2f}m")
+    write_table("ablation_alltoall_selection", "\n".join(lines))
+    for n, p, msg, t in rows:
+        assert t["auto"] <= max(t["p2p"], t["mpi"]) + 1e-12

@@ -1,0 +1,62 @@
+"""Figure 4 — runtime allocation across solver components.
+
+Paper content: for the Table 6 runs, the share of execution time spent in
+the preconditioner, objective evaluation, gradient, Hessian matvecs and
+"other", per preconditioner variant.  Key observations to reproduce: most
+time goes into computing the Newton step (Hessian matvecs); InvA shifts
+the balance toward Hessian matvecs (many PCG iterations), InvH0 toward
+the preconditioner, and 2LInvH0 cuts the preconditioner share by the
+coarse-grid trick while keeping the low Hessian share.
+"""
+
+import pytest
+
+from _bench_utils import FAST, write_table
+from repro import RegistrationConfig, register
+from repro.data.brain import brain_pair
+
+N = 16 if FAST else 24
+COMPONENTS = ["PC", "Obj", "Grad", "Hess", "Other"]
+
+
+@pytest.fixture(scope="module")
+def runs():
+    m0, m1 = brain_pair((N, N, N), template_subject=10, reference_subject=1)
+    out = {}
+    for pc in ("invA", "invH0", "2LinvH0"):
+        cfg = RegistrationConfig(beta=1e-3, nt=4, interp_order=1,
+                                 preconditioner=pc, eps_h0=1e-3)
+        out[pc] = register(m0, m1, cfg)
+    return out
+
+
+def test_fig4_breakdown(benchmark, runs):
+    res = benchmark.pedantic(lambda: runs, rounds=1, iterations=1)
+    lines = [f"{'PC':>8} " + " ".join(f"{c:>8}" for c in COMPONENTS)
+             + f" {'Total':>8}   (seconds / % of total)"]
+    for pc, r in res.items():
+        rt = r.runtimes
+        total = rt["Total"]
+        cells = " ".join(f"{rt[c]:8.2f}" for c in COMPONENTS)
+        lines.append(f"{pc:>8} {cells} {total:8.2f}")
+        pct = " ".join(f"{100 * rt[c] / total:7.1f}%" for c in COMPONENTS)
+        lines.append(f"{'':>8} {pct}")
+    write_table(f"fig4_runtime_breakdown_{N}cubed", "\n".join(lines))
+
+    a, b, c = res["invA"], res["invH0"], res["2LinvH0"]
+    # "we spend a large fraction of our runtime on the computation of the
+    # Newton step": Hessian dominates for InvA
+    assert a.runtimes["Hess"] == max(a.runtimes[k] for k in COMPONENTS)
+    # InvH0 trades Hessian matvecs for preconditioner work
+    assert b.runtimes["Hess"] < a.runtimes["Hess"]
+    assert b.runtimes["PC"] > a.runtimes["PC"]
+    # the coarse grid cuts the PC cost of the fine-grid InvH0 (paper:
+    # ~1/3 at 256^3, ~1/4 at 512^3)
+    assert c.runtimes["PC"] < 0.8 * b.runtimes["PC"]
+
+
+def test_fig4_components_cover_total(benchmark, runs):
+    runs = benchmark.pedantic(lambda: runs, rounds=1, iterations=1)
+    for r in runs.values():
+        s = sum(r.runtimes[c] for c in COMPONENTS)
+        assert s == pytest.approx(r.runtimes["Total"], rel=0.05)

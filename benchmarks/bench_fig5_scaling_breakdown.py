@@ -1,0 +1,63 @@
+"""Figure 5 — kernel breakdown of the scaling runs (FFT / SL / FD / Other).
+
+Paper content: stacked-bar view of Table 7: strong scaling of 512^3 over
+4..64 GPUs and weak scaling 512^3@4 -> 1024^3@32 -> 2048^3@256.  Key
+observations: the runtime is dominated by the FFT kernel; almost the
+entire runtime sits in the three main kernels; scalability is limited by
+communication at small local problem sizes.
+"""
+
+import pytest
+
+from _bench_utils import write_table
+from repro.dist.models import model_solver_breakdown
+
+STRONG = [((512, 512, 512), p) for p in (4, 8, 16, 32, 64)]
+WEAK = [((512, 512, 512), 4), ((1024, 1024, 1024), 32),
+        ((2048, 2048, 2048), 256)]
+
+
+def _rows(configs):
+    return [(s, p, model_solver_breakdown(s, p, nt=4, order=1))
+            for s, p in configs]
+
+
+def test_fig5_strong_scaling(benchmark):
+    rows = benchmark(lambda: _rows(STRONG))
+    lines = [f"{'config':>22} {'FFT':>8} {'SL':>8} {'FD':>8} {'Other':>8} "
+             f"{'total':>8}"]
+    for s, p, b in rows:
+        lines.append(f"N={s[0]}^3, {p:>3} GPUs  "
+                     f"{b.fft:8.2f} {b.sl:8.2f} {b.fd:8.2f} {b.other:8.2f} "
+                     f"{b.total:8.2f}")
+    write_table("fig5_strong_scaling", "\n".join(lines))
+
+    totals = [b.total for _, _, b in rows]
+    # strong scaling reduces the total (paper: 16.2 s -> 7.7 s, 4 -> 64)
+    assert totals[-1] < totals[0]
+    # FFT is the dominant kernel in every configuration
+    for _, _, b in rows:
+        assert b.fft >= max(b.sl, b.fd)
+        # the three kernels cover almost the entire runtime
+        assert (b.fft + b.sl + b.fd) / b.total > 0.9
+
+
+def test_fig5_weak_scaling(benchmark):
+    rows = benchmark(lambda: _rows(WEAK))
+    lines = [f"{'config':>24} {'FFT':>8} {'SL':>8} {'FD':>8} {'Other':>8} "
+             f"{'total':>8} {'%comm':>6}"]
+    for s, p, b in rows:
+        lines.append(f"N={s[0]:>4}^3, {p:>3} GPUs  "
+                     f"{b.fft:8.2f} {b.sl:8.2f} {b.fd:8.2f} {b.other:8.2f} "
+                     f"{b.total:8.2f} {100 * b.comm_frac:6.1f}")
+    write_table("fig5_weak_scaling", "\n".join(lines))
+
+    # weak scaling: total grows (communication costs; paper 16.2 -> 76 s),
+    # and the FFT share grows with it
+    totals = [b.total for _, _, b in rows]
+    assert totals[0] < totals[1] < totals[2]
+    fft_share = [b.fft / b.total for _, _, b in rows]
+    assert fft_share[2] > fft_share[0]
+    # the 2048^3 run: FFT >> SL > FD (paper: 51.8 / 14.6 / 5.9)
+    b = rows[-1][2]
+    assert b.fft > 2 * b.sl > 2 * b.fd

@@ -1,0 +1,88 @@
+"""Table 3 — strong and weak scaling of the 8th-order FD kernel.
+
+Paper setup: gradient of a synthetic scalar field; strong scaling 512^3
+on 1..16 ranks, weak scaling 256^3 -> 1024^3 on 1 -> 64 ranks; runtime
+split into ghost-comm and stencil kernel.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import FAST, fmt, write_table
+from repro.dist.dfd import dist_gradient_fd8
+from repro.dist.launch import launch_spmd
+from repro.dist.models import model_fd_phases
+from repro.dist.slab import SlabDecomp
+from repro.dist.telemetry import critical_path
+from repro.grid.grid import Grid3D
+
+#: the paper's ladder: (#GPUs, shape)
+PAPER_CONFIGS = [
+    (1, (256, 256, 256)),
+    (1, (512, 512, 512)),
+    (2, (512, 512, 512)),
+    (4, (512, 512, 512)),
+    (8, (512, 512, 512)),
+    (16, (512, 512, 512)),
+    (64, (1024, 1024, 1024)),
+]
+
+
+def test_table3_model(benchmark):
+    rows = benchmark(lambda: [(p, s, model_fd_phases(s, p))
+                              for p, s in PAPER_CONFIGS])
+    lines = [f"{'#GPUs':>5} {'size':>16} {'comm':>10} {'%':>6} "
+             f"{'kernel':>10} {'%':>6} {'total':>10}"]
+    for p, s, ph in rows:
+        t = ph.total
+        lines.append(
+            f"{p:>5} {'x'.join(map(str, s)):>16} {fmt(ph.comm):>10} "
+            f"{100 * ph.comm / t:6.1f} {fmt(ph.kernel):>10} "
+            f"{100 * ph.kernel / t:6.1f} {fmt(t):>10}")
+    write_table("table3_fd_scaling_model", "\n".join(lines))
+
+    by = {(p, s): ph for p, s, ph in rows}
+    # single GPU: no communication (paper rows 1-2)
+    assert by[(1, (256,) * 3)].comm == 0.0
+    # strong scaling 512^3: kernel time falls with p, comm roughly constant,
+    # so the comm share grows (paper: 21.9% at 2 -> 66% at 16)
+    k2 = by[(2, (512,) * 3)]
+    k16 = by[(16, (512,) * 3)]
+    assert k16.kernel < k2.kernel / 4
+    assert k16.comm / k16.total > k2.comm / k2.total
+    # weak scaling: comm grows with the slab cross-section (256^3@1 has
+    # none; 1024^3@64 is comm-dominated, paper: 76%)
+    w64 = by[(64, (1024,) * 3)]
+    assert w64.comm / w64.total > 0.5
+    # kernel time per rank is constant under weak scaling
+    assert w64.kernel == pytest.approx(by[(1, (256,) * 3)].kernel, rel=0.05)
+
+
+@pytest.mark.parametrize("world", [1, 2, 4])
+def test_table3_measured_small_scale(benchmark, world):
+    n = 16 if FAST else 48
+    grid = Grid3D((n, n, n))
+    rng = np.random.default_rng(3)
+    f = rng.standard_normal(grid.shape).astype(np.float32)
+    parts = SlabDecomp(grid.shape[0], world).scatter(f)
+
+    def prog(comm):
+        dist_gradient_fd8(parts[comm.rank], comm, grid)
+        return comm.telemetry
+
+    outcome = benchmark.pedantic(lambda: launch_spmd(prog, world),
+                                 rounds=1, iterations=1)
+    agg = critical_path(outcome.telemetries)
+    comm_t = agg.comm_seconds.get("fd_comm", 0.0)
+    kern_t = agg.kernel_seconds.get("fd", 0.0)
+    write_table(f"table3_measured_{n}cubed_p{world}",
+                f"comm={fmt(comm_t)}  kernel={fmt(kern_t)}")
+    assert kern_t > 0
+    if world == 1:
+        assert comm_t == 0.0
+    else:
+        assert comm_t > 0.0
+        # measured telemetry must agree with the analytic model
+        ph = model_fd_phases(grid.shape, world)
+        assert kern_t == pytest.approx(ph.kernel, rel=0.05)
+        assert comm_t == pytest.approx(ph.comm, rel=0.3)

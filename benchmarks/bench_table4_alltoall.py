@@ -1,0 +1,110 @@
+"""Table 4 — MPI vs peer-to-peer all-to-all bandwidth.
+
+Paper setup: sustained bidirectional per-rank bandwidth of the FFT
+transpose all-to-all, for vendor MPI_Alltoallv vs the hand-rolled
+asynchronous P2P scheme, over grids 256^3..1024^3 and 4..128 ranks.
+Message size per pair is ``8 * N1 * N2 * (N3/2+1) / p^2`` bytes; the
+paper implements a 512 kB threshold for switching between the schemes.
+"""
+
+import pytest
+
+from _bench_utils import write_table
+from repro.dist.models import fft_transpose_message_bytes
+from repro.dist.perfmodel import PerfModel
+from repro.dist.topology import ClusterSpec
+
+SIZES = [
+    (256, 256, 256),
+    (512, 256, 256),
+    (512, 512, 256),
+    (512, 512, 512),
+    (1024, 512, 512),
+    (1024, 1024, 512),
+    (1024, 1024, 1024),
+]
+RANKS = [4, 8, 16, 32, 64, 128]
+
+
+def bw_table():
+    rows = []
+    for shape in SIZES:
+        for method in ("mpi", "p2p"):
+            cells = []
+            for p in RANKS:
+                pm = PerfModel(ClusterSpec.for_world(p))
+                msg = fft_transpose_message_bytes(shape, p)
+                bw = pm.effective_alltoall_bw(msg, p, method)
+                over = msg > pm.p2p_threshold_bytes
+                cells.append((bw / 1e9, over))
+            rows.append((shape, method, cells))
+    return rows
+
+
+def test_table4_bandwidth(benchmark):
+    rows = benchmark(bw_table)
+    lines = [f"{'size':>16} {'type':>5} " + " ".join(f"{p:>9}" for p in RANKS),
+             "(GB/s per rank; * marks comm volume > 512 kB)"]
+    for shape, method, cells in rows:
+        cell_s = " ".join(f"{bw:8.1f}{'*' if over else ' '}"
+                          for bw, over in cells)
+        lines.append(f"{'x'.join(map(str, shape)):>16} {method.upper():>5} "
+                     f"{cell_s}")
+    write_table("table4_alltoall_bandwidth", "\n".join(lines))
+
+    by = {(s, m): c for s, m, c in rows}
+
+    # on-node (4 ranks): P2P uses NVLink, MPI stages through the host —
+    # P2P wins by a large factor for every size (paper: ~36 vs ~6 GB/s)
+    for shape in SIZES:
+        bw_p2p = by[(shape, "p2p")][0][0]
+        bw_mpi = by[(shape, "mpi")][0][0]
+        assert bw_p2p > 2.5 * bw_mpi
+
+    # off-node with large messages (volume > 512 kB): P2P wins.
+    # off-node with small messages MPI mostly wins (latency amortization);
+    # the paper's 512 kB switch point is conservative — in our model the
+    # crossover sits at ~150-250 kB, so we assert a strict MPI win only
+    # below 100 kB and a majority win below the threshold.
+    wins_large = wins_small = checks_large = checks_small = 0
+    for shape in SIZES:
+        for j, p in enumerate(RANKS):
+            if p <= 4:
+                continue
+            pm = PerfModel(ClusterSpec.for_world(p))
+            msg = fft_transpose_message_bytes(shape, p)
+            bw_p, over = by[(shape, "p2p")][j]
+            bw_m, _ = by[(shape, "mpi")][j]
+            if over:
+                checks_large += 1
+                wins_large += bw_p > bw_m
+            else:
+                checks_small += 1
+                wins_small += bw_m > bw_p
+                if msg < 100 * 1024:
+                    assert bw_m > bw_p
+    assert wins_large / checks_large > 0.9
+    assert wins_small / checks_small > 0.6
+
+
+def test_table4_threshold_consistency(benchmark):
+    """The 'auto' selection must never be slower than the worse scheme and
+    must match the winner almost everywhere."""
+
+    def run():
+        mismatches = 0
+        total = 0
+        for shape in SIZES:
+            for p in RANKS:
+                pm = PerfModel(ClusterSpec.for_world(p))
+                msg = fft_transpose_message_bytes(shape, p)
+                t_auto = pm.alltoall_time(msg, p, "auto")
+                t_best = min(pm.alltoall_time(msg, p, "p2p"),
+                             pm.alltoall_time(msg, p, "mpi"))
+                total += 1
+                if t_auto > t_best * 1.001:
+                    mismatches += 1
+        return mismatches, total
+
+    mismatches, total = benchmark(run)
+    assert mismatches <= 0.15 * total

@@ -1,0 +1,86 @@
+"""Table 5 — weak and strong scaling of the slab-decomposed 3D FFT.
+
+Paper setup: forward+inverse pair runtime (ms) for grids 256^3..1024^3
+over 1..128 ranks, compared against the plain cuFFT 3D transform on one
+rank.  Strong scaling reads along rows, weak scaling along diagonals.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import FAST, fmt, write_table
+from repro.dist.dfft import DistFFT
+from repro.dist.launch import launch_spmd
+from repro.dist.models import model_fft_phases
+from repro.dist.slab import SlabDecomp
+from repro.dist.telemetry import critical_path
+from repro.grid.grid import Grid3D
+
+SIZES = [
+    (256, 256, 256),
+    (512, 256, 256),
+    (512, 512, 256),
+    (512, 512, 512),
+    (1024, 512, 512),
+    (1024, 1024, 512),
+    (1024, 1024, 1024),
+]
+RANKS = [1, 4, 8, 16, 32, 64, 128]
+
+
+def test_table5_model(benchmark):
+    rows = benchmark(lambda: [
+        (s, [model_fft_phases(s, p) for p in RANKS]) for s in SIZES])
+    lines = [f"{'size':>16} " + " ".join(f"{p:>9}" for p in RANKS)
+             + "   (fwd+inv pair, ms; m=MPI_Alltoall path)"]
+    for shape, phs in rows:
+        cells = " ".join(
+            f"{ph.total * 1e3:8.2f}{'m' if ph.method == 'mpi' else ' '}"
+            for ph in phs)
+        lines.append(f"{'x'.join(map(str, shape)):>16} {cells}")
+    write_table("table5_fft_scaling_model", "\n".join(lines))
+
+    by = dict(rows)
+    # strong scaling for the large grids: 1024^3 improves substantially
+    # from 8 to 128 ranks (paper: 198 ms -> 38 ms)
+    big = by[(1024, 1024, 1024)]
+    assert big[RANKS.index(8)].total > 2.5 * big[RANKS.index(128)].total
+    # going off-node costs: 256^3 is slower on 8 ranks (2 nodes) than on 1
+    small = by[(256, 256, 256)]
+    assert small[RANKS.index(8)].total > small[0].total
+    # the communication share dominates at scale (paper §4.3: "runtime in
+    # FFTs is dominated by communication")
+    ph = by[(1024, 1024, 1024)][RANKS.index(64)]
+    assert ph.comm / ph.total > 0.6
+    # small slabs switch to the MPI all-to-all (512 kB threshold)
+    assert by[(256, 256, 256)][RANKS.index(64)].method == "mpi"
+    assert by[(1024, 1024, 1024)][RANKS.index(8)].method == "p2p"
+
+
+@pytest.mark.parametrize("world", [1, 2, 4])
+def test_table5_measured_small_scale(benchmark, world):
+    """Real slab-FFT execution: wall time and modeled telemetry."""
+    n = 32 if FAST else 64
+    grid = Grid3D((n, n, n))
+    rng = np.random.default_rng(5)
+    f = rng.standard_normal(grid.shape).astype(np.float32)
+    parts = SlabDecomp(grid.shape[0], world).scatter(f)
+
+    def prog(comm):
+        fft = DistFFT(grid, comm)
+        out = fft.inv(fft.fwd(parts[comm.rank]))
+        return out, comm.telemetry
+
+    outcome = benchmark.pedantic(lambda: launch_spmd(prog, world),
+                                 rounds=1, iterations=1)
+    got = np.concatenate([o[0] for o in outcome.results], axis=0)
+    assert np.allclose(got, f, atol=1e-5)
+    agg = critical_path(t for _, t in outcome.results)
+    write_table(
+        f"table5_measured_{n}cubed_p{world}",
+        f"kernel={fmt(agg.kernel_seconds.get('fft', 0.0))}  "
+        f"comm={fmt(agg.comm_seconds.get('fft_comm', 0.0))}")
+    if world == 1:
+        assert agg.comm_total() == 0.0
+    else:
+        assert agg.comm_seconds.get("fft_comm", 0.0) > 0.0

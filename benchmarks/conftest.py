@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark harness (adds this directory to
+sys.path so benches can share `_bench_utils`)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Figure 1 scenario: multi-subject neuroimaging registration.
+
+Registers the "na10" brain phantom to "na01" (the paper's featured NIREP
+pair) with the full production configuration: beta-continuation,
+2LInvH0 preconditioner, and a numerical diffeomorphism check on the
+recovered deformation map.
+
+Run:  python examples/brain_registration.py [grid_size]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import RegistrationConfig, register
+from repro.data import brain_pair
+from repro.grid.grid import Grid3D
+from repro.metrics import deformation_displacement, jacobian_determinant
+from repro.utils.ascii_art import render_slice, side_by_side
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    print(f"NIREP-style registration problem (na10 -> na01) at {n}^3")
+    m0, m1 = brain_pair((n, n, n), template_subject=10, reference_subject=1)
+
+    print("\nInput (axial mid-slices):")
+    print(side_by_side(
+        [render_slice(m1), render_slice(m0),
+         render_slice(np.abs(m0 - m1), vmin=0.0)],
+        ["reference m1", "template m0", "residual before"]))
+
+    cfg = RegistrationConfig(
+        beta=1e-3, nt=4, interp_order=1, preconditioner="2LinvH0",
+        eps_h0=1e-3, continuation=True, beta_init=0.5, beta_shrink=0.1,
+        verbose=True)
+    print("\nSolving with beta-continuation "
+          f"({cfg.beta_init:g} -> {cfg.beta:g}), InvA switching to 2LInvH0 "
+          f"at beta <= {cfg.pc_switch_beta:g} ...\n")
+    result = register(m0, m1, cfg)
+
+    print("\n" + result.report())
+
+    grid = Grid3D(m0.shape)
+    u = deformation_displacement(result.velocity, grid, nt=cfg.nt)
+    det = jacobian_determinant(u, grid)
+    print(f"\nJacobian determinant of y(x): min={det.min():.3f} "
+          f"max={det.max():.3f}")
+    if det.min() > 0:
+        print("-> the computed map is a diffeomorphism "
+              "(confirmed numerically, as in the paper's Figure 1)")
+
+    res_before = np.abs(m0 - m1)
+    res_after = np.abs(result.deformed_template - m1)
+    print("\nResult (axial mid-slices):")
+    print(side_by_side(
+        [render_slice(res_after, vmin=0.0, vmax=float(res_before.max())),
+         render_slice(np.abs(result.velocity[0]), vmin=0.0),
+         render_slice(np.sqrt((u ** 2).sum(axis=0)), vmin=0.0)],
+        ["residual after", "|v_1(x)|", "|y(x) - x|"]))
+
+    np.savez("brain_registration_result.npz",
+             velocity=result.velocity, displacement=u, jacobian_det=det,
+             deformed=result.deformed_template)
+    print("\nArtifacts saved to brain_registration_result.npz")
+
+
+if __name__ == "__main__":
+    main()

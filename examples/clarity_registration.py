@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Figure 2 scenario: CLARITY-to-atlas registration.
+
+CLARITY microscopy volumes are strongly anisotropic and dominated by
+high-frequency structure; the paper registers `Cocaine 175` to
+`Control 189` at up to 1024x768x768 and uses a looser inner tolerance
+(eps_H0 = 1e-2) for the preconditioner on this data.  This example runs
+the same protocol on the CLARITY-like phantoms at a CPU-feasible,
+anisotropic grid (the paper's 1024x384x384 aspect scaled down).
+
+Run:  python examples/clarity_registration.py
+"""
+
+import sys
+
+import numpy as np
+
+from repro import RegistrationConfig, register
+from repro.data import clarity_pair
+from repro.utils.ascii_art import render_slice, side_by_side
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    shape = (64 * scale, 24 * scale, 24 * scale)  # 1024x384x384 aspect
+    print(f"CLARITY-style registration (Cocaine 175 -> Control 189) "
+          f"at {shape[0]}x{shape[1]}x{shape[2]}")
+    m0, m1 = clarity_pair(shape)
+
+    cfg = RegistrationConfig(
+        beta=5e-3, nt=4, interp_order=1, preconditioner="2LinvH0",
+        eps_h0=1e-2,  # the paper's CLARITY setting
+        continuation=True, beta_init=0.5, beta_shrink=0.1, verbose=True)
+    print(f"\nSolving (eps_H0 = {cfg.eps_h0:g}, the paper's CLARITY "
+          "setting) ...\n")
+    result = register(m0, m1, cfg)
+    print("\n" + result.report())
+
+    res_before = np.abs(m0 - m1)
+    res_after = np.abs(result.deformed_template - m1)
+    print("\nCoronal mid-slices (axis 1):")
+    print(side_by_side(
+        [render_slice(m1, axis=1), render_slice(m0, axis=1),
+         render_slice(res_after, axis=1, vmin=0.0,
+                      vmax=float(res_before.max()))],
+        ["atlas m1", "CLARITY m0", "residual after"]))
+
+    drop = result.mismatch
+    print(f"\nrelative mismatch after registration: {drop:.3f} "
+          f"(1.0 = unregistered)")
+    np.savez("clarity_registration_result.npz",
+             velocity=result.velocity, deformed=result.deformed_template)
+    print("Artifacts saved to clarity_registration_result.npz")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Preconditioner study (the paper's Figure 3 protocol).
+
+Builds a registration problem whose true solution is known, solves the
+reduced-space Newton system *at the true solution*, and prints the PCG
+convergence of InvA vs InvH0 vs 2LInvH0 across regularization weights.
+
+Run:  python examples/precond_study.py [grid_size]
+"""
+
+import sys
+
+from repro.core.pcg import pcg
+from repro.core.precond import make_preconditioner
+from repro.core.problem import RegistrationProblem
+from repro.data.deform import random_velocity, synthesize_reference
+from repro.data.synthetic import syn_template
+from repro.grid.grid import Grid3D
+from repro.utils.config import RegistrationConfig
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+    grid = Grid3D((n, n, n))
+    v_true = random_velocity(grid, seed=7, amplitude=0.35, max_mode=2)
+    m0 = syn_template(grid)
+    m1 = synthesize_reference(m0, v_true, nt=4)
+    print(f"Newton system at the true solution, {n}^3, cubic interpolation")
+
+    for beta in (5e-1, 1e-1, 5e-2):
+        print(f"\nbeta = {beta:g}")
+        for pc_name in ("invA", "invH0", "2LinvH0"):
+            cfg = RegistrationConfig(beta=beta, nt=4, interp_order=3,
+                                     eps_h0=1e-3, preconditioner=pc_name)
+            problem = RegistrationProblem(grid, m0, m1, cfg)
+            problem.set_velocity(v_true)
+            g = problem.gradient()
+            pc = make_preconditioner(pc_name, problem)
+            pc.eps_k = 1e-6
+            pc.refresh()
+            res = pcg(problem.hess_matvec, -g, rtol=1e-6, maxiter=40,
+                      precond=pc, dot=problem.dot)
+            series = " ".join(f"{r:.1e}" for r in res.history[:12])
+            print(f"  {pc_name:>8}: {res.iters:3d} iters "
+                  f"(inner CG {problem.counters.h0_cg_iters:4d})  "
+                  f"residuals: {series} ...")
+
+    print("\nExpected shape (paper Fig. 3): InvH0/2LInvH0 converge in fewer "
+          "iterations; InvA degrades as beta decreases.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: register two brain phantoms with the default CLAIRE-style
+solver and inspect the result.
+
+Run:  python examples/quickstart.py [grid_size]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import RegistrationConfig, register
+from repro.data import brain_pair
+from repro.grid.grid import Grid3D
+from repro.metrics import (
+    deformation_displacement,
+    jacobian_determinant,
+    relative_mismatch,
+)
+from repro.utils.ascii_art import render_slice, side_by_side
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    print(f"Generating a multi-subject brain-phantom pair at {n}^3 ...")
+    m0, m1 = brain_pair((n, n, n), template_subject=10, reference_subject=1)
+
+    cfg = RegistrationConfig(
+        beta=1e-3,             # regularization weight
+        nt=4,                  # semi-Lagrangian time steps
+        interp_order=1,        # trilinear interpolation (GPU-TXTLIN)
+        preconditioner="2LinvH0",  # the paper's two-level preconditioner
+    )
+    print("Registering (Gauss-Newton-Krylov with 2LInvH0) ...")
+    result = register(m0, m1, cfg)
+    print(result.report())
+
+    grid = Grid3D(m0.shape)
+    u = deformation_displacement(result.velocity, grid, nt=cfg.nt)
+    det = jacobian_determinant(u, grid)
+    print(f"\ndet(grad y) in [{det.min():.3f}, {det.max():.3f}] "
+          f"-> {'diffeomorphic' if det.min() > 0 else 'NOT diffeomorphic'}")
+    print(f"relative mismatch: "
+          f"{relative_mismatch(result.deformed_template, m1, m0):.3e}")
+
+    res_before = np.abs(m0 - m1)
+    res_after = np.abs(result.deformed_template - m1)
+    print("\nAxial mid-slice residuals (dark = good):")
+    print(side_by_side(
+        [render_slice(res_before, vmin=0, vmax=res_before.max()),
+         render_slice(res_after, vmin=0, vmax=res_before.max())],
+        ["residual BEFORE", "residual AFTER"]))
+
+    np.savez("quickstart_result.npz", velocity=result.velocity,
+             deformed=result.deformed_template, m0=m0, m1=m1)
+    print("\nSaved velocity/deformed template to quickstart_result.npz")
+
+
+if __name__ == "__main__":
+    main()

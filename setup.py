@@ -1,0 +1,21 @@
+"""Legacy setuptools entry point.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+must go through the classic ``setup.py develop`` path; metadata lives here
+(duplicated from pyproject.toml, which pytest still reads for its config).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Python reproduction of multi-node multi-GPU diffeomorphic image "
+        "registration (CLAIRE, SC'20)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

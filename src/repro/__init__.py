@@ -1,0 +1,38 @@
+"""repro — a Python reproduction of "Multi-Node Multi-GPU Diffeomorphic
+Image Registration for Large-Scale Imaging Problems" (Brunn et al.,
+SC 2020), the multi-GPU extension of the CLAIRE registration framework.
+
+Quick start::
+
+    import numpy as np
+    from repro import register, RegistrationConfig
+    from repro.data import brain_pair
+
+    m0, m1 = brain_pair((32, 32, 32))
+    result = register(m0, m1, RegistrationConfig(beta=1e-2, nt=4))
+    print(result.report())
+
+Packages
+--------
+``repro.grid``       grid geometry, spectral ops, FD, interpolation kernels
+``repro.transport``  semi-Lagrangian state/adjoint/incremental solvers
+``repro.core``       Gauss-Newton-Krylov solver + InvA/InvH0/2LInvH0
+``repro.dist``       simulated multi-node multi-GPU runtime + kernels
+``repro.data``       SYN / brain-phantom / CLARITY-like generators
+``repro.metrics``    mismatch, deformation maps, Jacobian determinants
+``repro.baselines``  first-order LDDMM baseline, CPU performance model
+"""
+
+from repro.version import __version__
+from repro.utils.config import RegistrationConfig, SolverTolerances
+from repro.core.registration import RegistrationResult, register
+from repro.grid.grid import Grid3D
+
+__all__ = [
+    "__version__",
+    "RegistrationConfig",
+    "SolverTolerances",
+    "RegistrationResult",
+    "register",
+    "Grid3D",
+]

@@ -1,0 +1,28 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.gd_lddmm` — a first-order (gradient descent)
+  LDDMM solver on the same formulation: the class of "simplified
+  algorithms" the paper's related-work section credits with subpar
+  registration quality / slow convergence (none of the cited
+  hardware-accelerated LDDMM packages except CLAIRE use second-order
+  information).
+* :mod:`repro.baselines.cpu_model` — a performance model of the CPU
+  version of CLAIRE and of third-party GPU LDDMM packages, used to
+  reproduce the paper's headline speedups (34x vs CPU CLAIRE, 50x vs
+  other GPU implementations, 70% vs the single-GPU CLAIRE of [14]).
+"""
+
+from repro.baselines.gd_lddmm import GDResult, register_gradient_descent
+from repro.baselines.cpu_model import (
+    cpu_claire_runtime,
+    gpu14_claire_runtime,
+    other_gpu_lddmm_runtime,
+)
+
+__all__ = [
+    "GDResult",
+    "register_gradient_descent",
+    "cpu_claire_runtime",
+    "gpu14_claire_runtime",
+    "other_gpu_lddmm_runtime",
+]

@@ -1,0 +1,95 @@
+"""Performance models of the comparators for the paper's speedup claims.
+
+The paper's headline single-GPU numbers (§4.2):
+
+* ~5 s time-to-solution for a clinically relevant 256^3 problem on one
+  V100 (3.70 s for na02 when the state gradient is stored);
+* up to **70% speedup** over the single-GPU CLAIRE of reference [14];
+* **34x** faster than the CPU version of CLAIRE [33, 51, 53] (multi-core
+  x86 cluster);
+* **50x** faster than other GPU-accelerated LDDMM packages (benchmark
+  study in [14]).
+
+We cannot run CUDA or the third-party packages here, so these comparators
+are *models*: our modeled single-GPU runtime (from the calibrated
+:class:`~repro.dist.perfmodel.PerfModel` and the solver's operation
+counters) scaled by the paper's measured factors.  The benchmark harness
+then checks the *internally measurable* part — that our modeled runtime
+at 256^3 lands in the paper's ~4-6 s range and that the preconditioner /
+memory trade-offs reproduce — and reports the comparator columns for
+completeness.
+"""
+
+from __future__ import annotations
+
+from repro.core.counters import SolverCounters
+from repro.dist.perfmodel import PerfModel
+from repro.dist.topology import ClusterSpec
+
+#: runtime factor of the single-GPU CLAIRE of [14] vs this work
+#: ("speedup of up to about 70%" => t_[14] ~ 1.7 x t_ours)
+GPU14_FACTOR = 1.7
+#: CPU CLAIRE (multi-core x86) vs this work ("34x faster than the CPU version")
+CPU_CLAIRE_FACTOR = 34.0
+#: other GPU LDDMM packages vs this work ("50x faster than other ...")
+OTHER_GPU_FACTOR = 50.0
+
+
+def modeled_single_gpu_runtime(shape, nt: int, counters: SolverCounters,
+                               interp_order: int = 1,
+                               perf: PerfModel | None = None) -> float:
+    """Price a full registration solve on one modeled V100 from its
+    operation counters (the cost model (10) of the paper).
+
+    Per PDE solve: ``~2 Nt`` scalar interpolations plus the trajectory
+    interpolations and one FD gradient per time step; spectral operators
+    cost one forward+inverse FFT pair per application.
+    """
+    if perf is None:
+        perf = PerfModel(ClusterSpec(nodes=1, gpus_per_node=1))
+    n = shape[0] * shape[1] * shape[2]
+    t_interp = perf.interp_time(n, interp_order)
+    t_fd = perf.fd_gradient_time(n)
+    t_fft = perf.fft_pair_time(n, n)
+    # one prototypical PDE solve (state / adjoint / incremental)
+    t_pde = 2 * nt * t_interp + 3 * t_interp + nt * t_fd
+    # spectral operator applications: regularization in gradient/Hessian/
+    # objective, plus the preconditioner's inner work
+    n_fft = (counters.grad_evals + counters.hess_matvecs + counters.obj_evals
+             + counters.n_inv_a + counters.n_inv_h0
+             + 2 * counters.h0_cg_iters)
+    return counters.pde_solves * t_pde + n_fft * t_fft
+
+
+def gpu14_claire_runtime(t_ours: float) -> float:
+    """Modeled runtime of the single-GPU CLAIRE of [14] on the same problem."""
+    return GPU14_FACTOR * t_ours
+
+
+def cpu_claire_runtime(t_ours: float) -> float:
+    """Modeled runtime of the CPU (x86 cluster) CLAIRE on the same problem."""
+    return CPU_CLAIRE_FACTOR * t_ours
+
+
+def other_gpu_lddmm_runtime(t_ours: float) -> float:
+    """Modeled runtime of exemplary third-party GPU LDDMM implementations."""
+    return OTHER_GPU_FACTOR * t_ours
+
+
+def store_gradient_saving(shape, nt: int, counters: SolverCounters,
+                          interp_order: int = 1,
+                          perf: PerfModel | None = None) -> float:
+    """Fractional runtime saving from storing ``grad m`` for all time steps
+    (the paper reports ~15%): removes the per-step FD gradients from the
+    incremental solves at the cost of ``3 (Nt+1) N`` words of memory."""
+    if perf is None:
+        perf = PerfModel(ClusterSpec(nodes=1, gpus_per_node=1))
+    n = shape[0] * shape[1] * shape[2]
+    t_total = modeled_single_gpu_runtime(shape, nt, counters,
+                                         interp_order, perf)
+    # without storage, grad(m) is re-derived at every time level by the
+    # incremental state AND incremental adjoint of each Hessian matvec,
+    # and by the adjoint solve of each gradient evaluation
+    n_grad_fields = (2 * counters.hess_matvecs + counters.grad_evals) * (nt + 1)
+    saved = n_grad_fields * perf.fd_gradient_time(n)
+    return saved / t_total if t_total > 0 else 0.0

@@ -1,0 +1,102 @@
+"""First-order LDDMM baseline (gradient descent with Armijo line search).
+
+Same optimal-control objective, same transport/adjoint machinery, but the
+search direction is the (Sobolev-preconditioned) negative gradient instead
+of an inexact Newton step.  This is the algorithmic class of most
+GPU-accelerated LDDMM packages the paper cites; comparing it against the
+Gauss-Newton-Krylov solver reproduces the paper's claim that first-order
+methods need far more iterations / PDE solves to reach comparable data
+mismatch.
+
+The descent direction uses the ``(beta*A)^{-1}`` Sobolev gradient (common
+practice in LDDMM; plain L2 gradient descent on this ill-conditioned
+problem barely moves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.problem import RegistrationProblem
+from repro.grid.grid import Grid3D
+from repro.utils.config import RegistrationConfig
+
+
+@dataclass
+class GDResult:
+    """Outcome of a gradient-descent registration."""
+
+    velocity: np.ndarray
+    mismatch: float
+    grad_rel: float
+    iterations: int
+    converged: bool
+    pde_solves: int
+    mismatch_history: list = field(default_factory=list)
+    grad_history: list = field(default_factory=list)
+
+
+def register_gradient_descent(m0: np.ndarray, m1: np.ndarray,
+                              config: RegistrationConfig | None = None,
+                              max_iters: int = 200,
+                              sobolev: bool = True,
+                              step0: float = 1.0) -> GDResult:
+    """Register ``m0`` to ``m1`` with first-order (Sobolev) gradient descent.
+
+    Stops on the same relative-gradient criterion as the Gauss-Newton
+    solver so iteration counts are directly comparable.
+    """
+    cfg = config if config is not None else RegistrationConfig()
+    grid = Grid3D(m0.shape)
+    problem = RegistrationProblem(grid, m0, m1, cfg)
+    tol = cfg.tol
+
+    v = problem.zero_velocity()
+    problem.set_velocity(v)
+    gref = None
+    alpha = step0
+    mismatch_history: list = []
+    grad_history: list = []
+    converged = False
+    it = 0
+    for it in range(max_iters):
+        g = problem.gradient()
+        gnorm = problem.norm(g)
+        if gref is None:
+            gref = max(gnorm, tol.grad_atol)
+        grad_rel = gnorm / gref
+        grad_history.append(grad_rel)
+        mismatch_history.append(problem.mismatch())
+        if grad_rel <= tol.grad_rtol:
+            converged = True
+            break
+        d = -problem.apply_inv_reg(g) if sobolev else -g
+        dirderiv = problem.inner(g, d)
+        if dirderiv >= 0:
+            d = -g
+            dirderiv = -gnorm**2
+        j0 = problem.objective()
+        # Armijo with warm-started step length
+        accepted = False
+        a = alpha
+        for _ in range(tol.linesearch_max_steps):
+            if problem.objective(v + a * d) <= j0 + tol.linesearch_c1 * a * dirderiv:
+                accepted = True
+                break
+            a *= tol.linesearch_shrink
+        if not accepted:
+            break
+        v = v + a * d
+        problem.set_velocity(v)
+        alpha = min(a * 2.0, step0)  # gentle growth for the next iteration
+
+    return GDResult(velocity=v,
+                    mismatch=mismatch_history[-1] if mismatch_history else 1.0,
+                    grad_rel=grad_history[-1] if grad_history else 1.0,
+                    iterations=it,
+                    converged=converged,
+                    pde_solves=problem.counters.pde_solves,
+                    mismatch_history=mismatch_history,
+                    grad_history=grad_history)

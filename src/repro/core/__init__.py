@@ -1,0 +1,26 @@
+"""The paper's primary contribution: reduced-space Gauss-Newton-Krylov
+solver for diffeomorphic image registration with the InvA / InvH0 /
+2LInvH0 preconditioners.
+
+Public entry point: :func:`repro.core.registration.register`.
+"""
+
+from repro.core.counters import SolverCounters
+from repro.core.pcg import pcg
+from repro.core.precond import make_preconditioner, InvA, InvH0, TwoLevelInvH0
+from repro.core.problem import RegistrationProblem
+from repro.core.gn import gauss_newton
+from repro.core.registration import RegistrationResult, register
+
+__all__ = [
+    "SolverCounters",
+    "pcg",
+    "make_preconditioner",
+    "InvA",
+    "InvH0",
+    "TwoLevelInvH0",
+    "RegistrationProblem",
+    "gauss_newton",
+    "RegistrationResult",
+    "register",
+]

@@ -1,0 +1,70 @@
+"""Bookkeeping for the solver statistics reported in the paper's Table 6.
+
+Tracks Gauss-Newton iterations, accumulated PCG iterations, preconditioner
+applications (InvA vs InvH0/2LInvH0), inner-CG iterations spent inverting
+``H0``, and PDE-solve counts (used by the performance model to price a run
+on modeled hardware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SolverCounters:
+    """Counters accumulated over one registration solve (all GN iterations,
+    all continuation levels)."""
+
+    #: Gauss-Newton iterations
+    gn_iters: int = 0
+    #: accumulated outer PCG iterations (Hessian solves)
+    pcg_iters: int = 0
+    #: applications of the spectral preconditioner InvA ("A" in Table 6)
+    n_inv_a: int = 0
+    #: applications of InvH0 / 2LInvH0 ("B|C" in Table 6)
+    n_inv_h0: int = 0
+    #: total inner-PCG iterations spent inverting H0
+    h0_cg_iters: int = 0
+    #: objective evaluations (line search + acceptance checks)
+    obj_evals: int = 0
+    #: gradient evaluations
+    grad_evals: int = 0
+    #: Hessian matvecs
+    hess_matvecs: int = 0
+    #: forward/adjoint PDE solves (state + adjoint + incremental)
+    pde_solves: int = 0
+    #: line-search steps taken
+    linesearch_steps: int = 0
+    #: per-Newton-step PCG iteration counts
+    pcg_per_gn: list = field(default_factory=list)
+
+    @property
+    def h0_cg_avg(self) -> float:
+        """Average inner-CG iterations per InvH0 application (Table 6 'avg.')."""
+        return self.h0_cg_iters / self.n_inv_h0 if self.n_inv_h0 else 0.0
+
+    def merge(self, other: "SolverCounters") -> None:
+        """Accumulate another solve's counters (used by beta-continuation)."""
+        self.gn_iters += other.gn_iters
+        self.pcg_iters += other.pcg_iters
+        self.n_inv_a += other.n_inv_a
+        self.n_inv_h0 += other.n_inv_h0
+        self.h0_cg_iters += other.h0_cg_iters
+        self.obj_evals += other.obj_evals
+        self.grad_evals += other.grad_evals
+        self.hess_matvecs += other.hess_matvecs
+        self.pde_solves += other.pde_solves
+        self.linesearch_steps += other.linesearch_steps
+        self.pcg_per_gn.extend(other.pcg_per_gn)
+
+    def table6_row(self) -> dict:
+        """The Table 6 solver/preconditioner columns."""
+        return {
+            "GN": self.gn_iters,
+            "PCG": self.pcg_iters,
+            "A": self.n_inv_a,
+            "B|C": self.n_inv_h0,
+            "CG_total": self.h0_cg_iters,
+            "CG_avg": round(self.h0_cg_avg, 1),
+        }

@@ -1,0 +1,152 @@
+"""Gauss-Newton-Krylov driver (Algorithm 2 of the paper).
+
+Per iteration: evaluate the reduced gradient, pick the Krylov forcing
+tolerance ``eps_K = min(sqrt(||g||_rel), 0.5)``, solve ``H dv = -g`` with
+matrix-free PCG (Hessian matvecs cost two hyperbolic PDE solves each),
+globalize with an Armijo line search, update ``v``.
+
+Component runtimes are accumulated into the problem's ``TimerRegistry``
+under the Table 6 names: ``PC``, ``Obj``, ``Grad``, ``Hess``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pcg import pcg
+from repro.core.precond import PreconditionerBase
+
+
+@dataclass
+class GNResult:
+    """Outcome of one Gauss-Newton solve (one continuation level)."""
+
+    v: np.ndarray
+    converged: bool
+    gn_iters: int
+    grad_rel: float
+    mismatch: float
+    #: ||g||/||g_ref|| per iteration
+    grad_history: list = field(default_factory=list)
+    #: relative mismatch per iteration
+    mismatch_history: list = field(default_factory=list)
+    #: reference gradient norm used for the relative tolerance
+    gref: float = 0.0
+    #: reason the loop ended ("converged", "maxiter", "linesearch", "stagnated")
+    status: str = ""
+
+
+def armijo_linesearch(problem, v, dv, j0, dirderiv, timers):
+    """Backtracking Armijo line search on the reduced objective.
+
+    Returns ``(alpha, j_new)`` or ``(None, j0)`` if no step was accepted.
+    """
+    tol = problem.config.tol
+    alpha = 1.0
+    for _ in range(tol.linesearch_max_steps):
+        with timers.region("Obj"):
+            j_trial = problem.objective(v + alpha * dv)
+        problem.counters.linesearch_steps += 1
+        if j_trial <= j0 + tol.linesearch_c1 * alpha * dirderiv:
+            return alpha, j_trial
+        alpha *= tol.linesearch_shrink
+    return None, j0
+
+
+def gauss_newton(problem, v0: np.ndarray | None = None,
+                 precond: PreconditionerBase | None = None,
+                 gref: float | None = None) -> GNResult:
+    """Run the Gauss-Newton-Krylov loop from ``v0`` (zero if omitted).
+
+    Parameters
+    ----------
+    problem
+        A :class:`~repro.core.problem.RegistrationProblem` (its ``beta``
+        is the regularization weight used throughout this solve).
+    precond
+        Preconditioner instance (or ``None`` for unpreconditioned CG).
+    gref
+        Reference gradient norm for the relative stopping criterion; by
+        default the gradient norm at ``v0``.
+    """
+    cfg = problem.config
+    tol = cfg.tol
+    timers = problem.timers
+    counters = problem.counters
+
+    v = problem.zero_velocity() if v0 is None else np.array(v0, dtype=problem.dtype)
+    problem.set_velocity(v)
+    v = problem.v  # possibly Leray-projected
+
+    grad_history: list = []
+    mismatch_history: list = []
+    status = "maxiter"
+    grad_rel = np.inf
+    it = 0
+
+    for it in range(tol.max_gn_iters + 1):
+        with timers.region("Grad"):
+            g = problem.gradient()
+        gnorm = problem.norm(g)
+        if gref is None:
+            gref = max(gnorm, tol.grad_atol)
+        grad_rel = gnorm / gref
+        grad_history.append(grad_rel)
+        mismatch_history.append(problem.mismatch())
+        if cfg.verbose:
+            print(f"  GN {it:3d}: |g|_rel={grad_rel:.3e} "
+                  f"mismatch={mismatch_history[-1]:.3e} beta={problem.beta:.1e}")
+        if gnorm <= tol.grad_atol or grad_rel <= tol.grad_rtol:
+            status = "converged"
+            break
+        if it == tol.max_gn_iters:
+            break
+
+        # forcing sequence for the inexact Newton step (Algorithm 2, line 6)
+        eps_k = min(np.sqrt(grad_rel), tol.krylov_forcing_cap)
+        if precond is not None:
+            precond.eps_k = eps_k
+            precond.refresh()
+
+        def matvec(x):
+            with timers.region("Hess"):
+                return problem.hess_matvec(x)
+
+        def pc_apply(r):
+            with timers.region("PC"):
+                return precond(r)
+
+        res = pcg(matvec, -g, rtol=eps_k, maxiter=tol.max_krylov_iters,
+                  precond=pc_apply if precond is not None else None,
+                  dot=problem.dot)
+        counters.pcg_iters += res.iters
+        counters.pcg_per_gn.append(res.iters)
+        dv = res.x
+
+        dirderiv = problem.inner(g, dv)
+        if dirderiv >= 0.0:
+            # Krylov solve failed to produce descent (PSD roundoff);
+            # fall back to steepest descent
+            dv = -g
+            dirderiv = -gnorm**2
+
+        with timers.region("Obj"):
+            j0 = problem.objective()
+        alpha, _ = armijo_linesearch(problem, v, dv, j0, dirderiv, timers)
+        if alpha is None:
+            status = "linesearch"
+            break
+
+        v = v + alpha * dv
+        problem.set_velocity(v)
+        v = problem.v
+        counters.gn_iters += 1
+
+    return GNResult(v=v, converged=(status == "converged"),
+                    gn_iters=it, grad_rel=float(grad_rel),
+                    mismatch=mismatch_history[-1] if mismatch_history else 1.0,
+                    grad_history=grad_history,
+                    mismatch_history=mismatch_history,
+                    gref=float(gref), status=status)

@@ -1,0 +1,173 @@
+"""Preconditioners for the reduced-space Gauss-Newton Hessian (paper §2).
+
+Three variants, exactly as benchmarked in the paper's Figure 3 / Table 6:
+
+* **InvA** — the spectral benchmark preconditioner ``s = (beta*A)^{-1} r``
+  (equation (8)); two FFTs and a Hadamard product per application.
+* **InvH0** — the proposed zero-velocity approximation: iteratively solve
+  ``(beta*A + grad m (x) grad m) s = r`` (equation (9)) with a nested,
+  ``(beta*A)^{-1}``-left-preconditioned PCG; no hyperbolic PDE solves.
+* **2LInvH0** — the two-level variant: invert ``H0`` on a grid with half
+  the resolution (restricting ``r`` and ``grad m`` spectrally), prolong the
+  coarse solution and add the high-pass filtered smoothed residual
+  (Algorithm 1).
+
+Twists implemented per the paper: the ``beta`` used inside ``H0`` is
+bounded below by 5e-2; ``m0`` in (9) is replaced by the *deformed* template
+at the start of every Gauss-Newton iteration; the inner tolerance is
+``eps_H0 * eps_K`` with the outer Krylov forcing ``eps_K``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pcg import pcg
+from repro.grid.spectral import SpectralOps
+
+
+class PreconditionerBase:
+    """Common plumbing: each preconditioner is a callable ``r -> s`` bound
+    to a :class:`~repro.core.problem.RegistrationProblem`."""
+
+    #: label used in reports ("A", "B", or "C", following Table 6)
+    label = "?"
+
+    def __init__(self, problem):
+        self.problem = problem
+        #: current outer-Krylov forcing tolerance (set per GN iteration)
+        self.eps_k = 0.5
+
+    def refresh(self) -> None:
+        """Called at the beginning of every Gauss-Newton iteration (after
+        the state solve for the current iterate)."""
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+
+class InvA(PreconditionerBase):
+    """Spectral benchmark preconditioner ``(beta*A)^{-1}`` (equation (8))."""
+
+    label = "A"
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        self.problem.counters.n_inv_a += 1
+        return self.problem.apply_inv_reg(r)
+
+
+class _H0Operator:
+    """Matrix-free action of ``H0 = beta*A + grad m (x) grad m`` on a grid."""
+
+    def __init__(self, ops: SpectralOps, gradm: np.ndarray, beta: float,
+                 model: str, div_penalty: float):
+        self.ops = ops
+        self.gradm = gradm
+        self.beta = beta
+        self.model = model
+        self.div_penalty = div_penalty
+
+    def __call__(self, s: np.ndarray) -> np.ndarray:
+        # null_space="identity" keeps H0 strictly SPD on the modes the
+        # seminorm annihilates (see SpectralOps.apply_reg)
+        out = self.ops.apply_reg(s, self.beta, model=self.model,
+                                 div_penalty=self.div_penalty,
+                                 null_space="identity")
+        gm = self.gradm
+        dot = gm[0] * s[0] + gm[1] * s[1] + gm[2] * s[2]
+        out += gm * dot
+        return out
+
+    def inv_reg(self, r: np.ndarray) -> np.ndarray:
+        return self.ops.apply_inv_reg(r, self.beta, model=self.model,
+                                      div_penalty=self.div_penalty)
+
+
+class InvH0(PreconditionerBase):
+    """Zero-velocity Hessian preconditioner (nested PCG on equation (9))."""
+
+    label = "B"
+
+    def __init__(self, problem):
+        super().__init__(problem)
+        self._gradm: np.ndarray | None = None
+
+    def _beta_pc(self) -> float:
+        """The paper's lower bound: if ``beta < 5e-2`` use 5e-2 inside H0."""
+        return max(self.problem.beta, self.problem.config.h0_beta_floor)
+
+    def refresh(self) -> None:
+        cfg = self.problem.config
+        mref = (self.problem.deformed_template()
+                if cfg.h0_refresh_template else self.problem.m0)
+        self._gradm = self.problem.ts.grad(mref)
+
+    def _ensure_gradm(self) -> np.ndarray:
+        if self._gradm is None:
+            self.refresh()
+        return self._gradm
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        cfg = self.problem.config
+        h0 = _H0Operator(self.problem.ops, self._ensure_gradm(),
+                         self._beta_pc(), cfg.regularization, cfg.div_penalty)
+        tol = cfg.eps_h0 * self.eps_k
+        x0 = h0.inv_reg(r)
+        res = pcg(h0, r, rtol=tol, maxiter=cfg.tol.max_h0_iters,
+                  precond=h0.inv_reg, x0=x0, dot=self.problem.dot)
+        self.problem.counters.n_inv_h0 += 1
+        self.problem.counters.h0_cg_iters += res.iters
+        return res.x
+
+
+class TwoLevelInvH0(InvH0):
+    """Coarse-grid variant of InvH0 (Algorithm 1, TWOLVLINVH0PC).
+
+    The inner system is solved on a grid with half the resolution; the
+    restriction/prolongation and the high-pass filter are spectral.  The
+    smoothing step ``(beta*A)^{-1} r`` doubles as a (poor) multigrid
+    smoother supplying the high-frequency part of the output.
+    """
+
+    label = "C"
+
+    def __init__(self, problem):
+        super().__init__(problem)
+        self.coarse = problem.grid.coarsen(2)
+        self.ops_c = problem.coarse_spectral_ops(self.coarse)
+        self._gradm_c: np.ndarray | None = None
+
+    def refresh(self) -> None:
+        super().refresh()
+        # restrict grad(m) itself (the paper restricts "r and grad m0 in (9)")
+        self._gradm_c = self.problem.ops.restrict(self._gradm, self.coarse)
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        cfg = self.problem.config
+        if self._gradm_c is None:
+            self.refresh()
+        ops_f = self.problem.ops
+        h0c = _H0Operator(self.ops_c, self._gradm_c, self._beta_pc(),
+                          cfg.regularization, cfg.div_penalty)
+        tol = cfg.eps_h0 * self.eps_k
+        sf = self.problem.apply_inv_reg(r, beta=self._beta_pc())
+        rc = ops_f.restrict(r, self.coarse)
+        sc0 = ops_f.restrict(sf, self.coarse)
+        res = pcg(h0c, rc, rtol=tol, maxiter=cfg.tol.max_h0_iters,
+                  precond=h0c.inv_reg, x0=sc0, dot=self.problem.dot)
+        self.problem.counters.n_inv_h0 += 1
+        self.problem.counters.h0_cg_iters += res.iters
+        return ops_f.prolong(res.x, self.coarse) + ops_f.highpass(sf, self.coarse)
+
+
+def make_preconditioner(name: str, problem) -> PreconditionerBase | None:
+    """Factory used by the Gauss-Newton driver and the continuation scheme."""
+    if name == "none":
+        return None
+    if name == "invA":
+        return InvA(problem)
+    if name == "invH0":
+        return InvH0(problem)
+    if name == "2LinvH0":
+        return TwoLevelInvH0(problem)
+    raise ValueError(f"unknown preconditioner {name!r}")

@@ -1,0 +1,181 @@
+"""The reduced-space registration problem.
+
+Couples the optimal-control formulation (1) to the transport substrate:
+objective evaluation, reduced gradient (2), and Gauss-Newton Hessian
+matvec (5) for a fixed image pair ``(m0, m1)`` on one grid.
+
+Cost accounting matches the paper's model (10): every objective evaluation
+costs one state solve, every gradient one state + one adjoint solve, every
+Hessian matvec one incremental state + one incremental adjoint solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.counters import SolverCounters
+from repro.grid.grid import Grid3D
+from repro.grid.spectral import SpectralOps
+from repro.transport.solver import TransportSolver
+from repro.utils.config import RegistrationConfig
+from repro.utils.timers import TimerRegistry
+
+
+class RegistrationProblem:
+    """State container + operators for one registration solve.
+
+    Parameters
+    ----------
+    grid
+        Computational grid (must match the image shapes).
+    m0, m1
+        Template and reference image.
+    config
+        Solver configuration; ``config.beta`` may be overridden later via
+        the mutable :attr:`beta` (used by the continuation scheme).
+    """
+
+    def __init__(self, grid: Grid3D, m0: np.ndarray, m1: np.ndarray,
+                 config: RegistrationConfig,
+                 counters: SolverCounters | None = None,
+                 timers: TimerRegistry | None = None):
+        config.validate()
+        if m0.shape != grid.shape or m1.shape != grid.shape:
+            raise ValueError("image shapes must match the grid")
+        self.grid = grid
+        self.config = config
+        self.dtype = np.dtype(config.dtype)
+        self.m0 = np.ascontiguousarray(m0, dtype=self.dtype)
+        self.m1 = np.ascontiguousarray(m1, dtype=self.dtype)
+        self.ops = SpectralOps(grid)
+        self.ts = TransportSolver(
+            grid, config.nt, interp_order=config.interp_order,
+            derivative=config.derivative, dtype=self.dtype,
+            store_state_grad=config.store_state_grad, spectral_ops=self.ops)
+        #: scratch transport solver for line-search trial evaluations so the
+        #: cached trajectories of the accepted iterate stay valid
+        self._trial_ts = TransportSolver(
+            grid, config.nt, interp_order=config.interp_order,
+            derivative=config.derivative, dtype=self.dtype,
+            spectral_ops=self.ops)
+        #: current regularization parameter (mutated by beta-continuation)
+        self.beta = float(config.beta)
+        self.counters = counters if counters is not None else SolverCounters()
+        self.timers = timers if timers is not None else TimerRegistry()
+
+        self.v: np.ndarray | None = None
+        self.m_traj: np.ndarray | None = None
+        self._mismatch0 = self.grid.norm(self.m0 - self.m1)
+
+    # --------------------------------------------------------------- helpers
+    def zero_velocity(self) -> np.ndarray:
+        return self.grid.zeros_vector(self.dtype)
+
+    # inner products: overridden by the distributed problem with
+    # allreduce-backed versions so the GN/PCG drivers are layout-agnostic
+    def inner(self, a: np.ndarray, b: np.ndarray) -> float:
+        return self.grid.inner(a, b)
+
+    def norm(self, a: np.ndarray) -> float:
+        return self.grid.norm(a)
+
+    def dot(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Plain flattened dot (used by PCG; scaling-free)."""
+        return float(np.vdot(a.reshape(-1), b.reshape(-1)).real)
+
+    def coarse_spectral_ops(self, coarse_grid):
+        """Spectral operators on the half-resolution grid (2LInvH0 hook)."""
+        return SpectralOps(coarse_grid)
+
+    def apply_reg(self, w: np.ndarray, beta: float | None = None) -> np.ndarray:
+        """``beta*A w`` with the configured model and divergence penalty."""
+        b = self.beta if beta is None else beta
+        return self.ops.apply_reg(w, b, model=self.config.regularization,
+                                  div_penalty=self.config.div_penalty)
+
+    def apply_inv_reg(self, r: np.ndarray, beta: float | None = None) -> np.ndarray:
+        """``(beta*A)^{-1} r`` — the InvA spectral preconditioner (8)."""
+        b = self.beta if beta is None else beta
+        return self.ops.apply_inv_reg(r, b, model=self.config.regularization,
+                                      div_penalty=self.config.div_penalty)
+
+    # ---------------------------------------------------------------- state
+    def set_velocity(self, v: np.ndarray) -> None:
+        """Bind the current iterate and solve the state equation (1b),
+        caching the full state trajectory for gradient/Hessian evaluations."""
+        v = np.ascontiguousarray(v, dtype=self.dtype)
+        if self.config.incompressible:
+            v = self.ops.leray(v)
+        self.v = v
+        self.ts.set_velocity(v)
+        self.m_traj = self.ts.solve_state(self.m0, return_all=True)
+        self.counters.pde_solves += 1
+
+    def _require_state(self) -> None:
+        if self.m_traj is None:
+            raise RuntimeError("call set_velocity() first")
+
+    def deformed_template(self) -> np.ndarray:
+        """The transported template ``m(., 1)`` at the current iterate."""
+        self._require_state()
+        return self.m_traj[-1]
+
+    # ------------------------------------------------------------- functionals
+    def _regularization_energy(self, v: np.ndarray) -> float:
+        return 0.5 * self.grid.inner(self.apply_reg(v), v)
+
+    def objective(self, v: np.ndarray | None = None) -> float:
+        """Evaluate (1a).  With ``v=None`` uses the cached state (free);
+        otherwise performs a trial state solve (one ``c_PDE``), as in the
+        Armijo line search of Algorithm 2."""
+        self.counters.obj_evals += 1
+        if v is None:
+            self._require_state()
+            mfin, vv = self.m_traj[-1], self.v
+        else:
+            vv = np.ascontiguousarray(v, dtype=self.dtype)
+            if self.config.incompressible:
+                vv = self.ops.leray(vv)
+            self._trial_ts.set_velocity(vv)
+            mfin = self._trial_ts.solve_state(self.m0, return_all=False)
+            self.counters.pde_solves += 1
+        data = 0.5 * self.grid.inner(mfin - self.m1, mfin - self.m1)
+        return data + self._regularization_energy(vv)
+
+    def gradient(self) -> np.ndarray:
+        """Reduced gradient (2) at the current iterate: one adjoint solve
+        with final condition ``lam(., 1) = m1 - m(., 1)`` plus ``beta*A v``."""
+        self._require_state()
+        lam1 = self.m1 - self.m_traj[-1]
+        body = self.ts.solve_adjoint(self.m_traj, lam1)
+        self.counters.pde_solves += 1
+        self.counters.grad_evals += 1
+        g = self.apply_reg(self.v)
+        g += body
+        if self.config.incompressible:
+            g = self.ops.leray(g)
+        return g
+
+    def hess_matvec(self, vtilde: np.ndarray) -> np.ndarray:
+        """Gauss-Newton Hessian matvec (5): incremental state (6) forward +
+        incremental adjoint (7) backward, plus ``beta*A vtilde``."""
+        self._require_state()
+        vt = vtilde
+        if self.config.incompressible:
+            vt = self.ops.leray(vt)
+        body = self.ts.hessian_body(vt, self.m_traj)
+        self.counters.pde_solves += 2
+        self.counters.hess_matvecs += 1
+        hv = self.apply_reg(vt)
+        hv += body
+        if self.config.incompressible:
+            hv = self.ops.leray(hv)
+        return hv
+
+    # ---------------------------------------------------------------- metrics
+    def mismatch(self) -> float:
+        """Relative mismatch ``||m(1) - m1|| / ||m0 - m1||`` (Table 6)."""
+        self._require_state()
+        if self._mismatch0 == 0.0:
+            return 0.0
+        return self.grid.norm(self.m_traj[-1] - self.m1) / self._mismatch0

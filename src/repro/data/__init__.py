@@ -1,0 +1,31 @@
+"""Dataset generators.
+
+The paper evaluates on three data families (§4): a synthetic problem
+(SYN), the NIREP neuroimaging repository, and CLARITY microscopy volumes.
+NIREP and CLARITY are not redistributable, so this package provides
+procedural stand-ins with matched statistical character (see DESIGN.md,
+"Substitutions"): smooth multi-scale brain phantoms and anisotropic
+high-frequency CLARITY-like volumes.  All generators are seeded and
+deterministic.
+"""
+
+from repro.data.synthetic import syn_problem, syn_template, syn_velocity
+from repro.data.deform import random_velocity, synthesize_reference
+from repro.data.brain import brain_phantom, brain_pair
+from repro.data.clarity import clarity_phantom, clarity_pair
+from repro.data.io import load_volume, resample_volume, save_volume
+
+__all__ = [
+    "syn_problem",
+    "syn_template",
+    "syn_velocity",
+    "random_velocity",
+    "synthesize_reference",
+    "brain_phantom",
+    "brain_pair",
+    "clarity_phantom",
+    "clarity_pair",
+    "load_volume",
+    "resample_volume",
+    "save_volume",
+]

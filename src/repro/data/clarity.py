@@ -1,0 +1,79 @@
+"""CLARITY-like volume generator.
+
+CLARITY microscopy volumes (paper §4, Figure 2) are dominated by
+high-frequency content: bright, sparse neuronal structures and vessel-like
+filaments on a dark background, with strong axial anisotropy (0.6 um x
+0.6 um x 6 um voxels).  The property that matters for the solver (Table 6)
+is that high-frequency images make the data term rougher, so the ``H0``
+systems need looser inner tolerances (``eps_H0`` = 1e-2 instead of 1e-3)
+and more inner-CG iterations.  This generator reproduces exactly that
+character with seeded filtered noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.deform import random_velocity, warp_image
+from repro.grid.grid import Grid3D
+from repro.grid.spectral import SpectralOps
+from repro.utils.rng import default_rng
+
+
+def _aniso_noise(grid: Grid3D, rng, lo: float, hi: float,
+                 axial_squash: float) -> np.ndarray:
+    """Band-limited noise with anisotropic spectral support: content along
+    the axial direction (axis 2) is squashed by ``axial_squash`` mimicking
+    the coarse axial resolution of CLARITY stacks."""
+    ops = SpectralOps(grid)
+    k1, k2, k3 = grid.wavenumbers
+    kk = np.sqrt(k1**2 + k2**2 + (axial_squash * k3) ** 2)
+    mask = (kk >= lo) & (kk < hi)
+    F = ops.fwd(rng.standard_normal(grid.shape)) * mask
+    f = ops.inv(F)
+    mx = np.max(np.abs(f))
+    return f / mx if mx > 0 else f
+
+
+def clarity_phantom(shape, subject: int = 189, dtype=np.float64,
+                    warp_amplitude: float = 0.3) -> np.ndarray:
+    """A CLARITY-like volume; ``subject`` seeds both texture and anatomy.
+
+    Composition: a smooth tissue envelope, vessel-like filaments
+    (thresholded mid-frequency anisotropic noise), and a dense
+    high-frequency speckle of cell-scale brightness.  Intensities in
+    [0, 1].
+    """
+    grid = Grid3D(shape)
+    rng = default_rng(30_000 + subject)
+    x1, x2, x3 = grid.coords()
+    c = np.pi
+    r2 = ((x1 - c) / 2.4) ** 2 + ((x2 - c) / 2.0) ** 2 + ((x3 - c) / 2.2) ** 2
+    envelope = 1.0 / (1.0 + np.exp(10.0 * (np.sqrt(r2) - 1.0)))
+    envelope = envelope * np.ones(shape)
+
+    vessels_raw = _aniso_noise(grid, rng, lo=3.0, hi=7.0, axial_squash=3.0)
+    vessels = np.clip((vessels_raw - 0.35) * 6.0, 0.0, 1.0)
+    speckle = _aniso_noise(grid, rng, lo=6.0, hi=int(min(shape) // 2),
+                           axial_squash=2.0)
+    speckle = 0.5 + 0.5 * speckle
+
+    img = envelope * (0.12 + 0.55 * vessels + 0.33 * speckle)
+    img = np.clip(img, 0.0, 1.0)
+
+    if warp_amplitude > 0.0:
+        vwarp = random_velocity(grid, seed=40_000 + subject,
+                                amplitude=warp_amplitude, max_mode=2)
+        img = warp_image(img, vwarp, nt=4, interp_order=3)
+        img = np.clip(img, 0.0, 1.0)
+    return np.ascontiguousarray(img, dtype=dtype)
+
+
+def clarity_pair(shape, template_subject: int = 175,
+                 reference_subject: int = 189, dtype=np.float64):
+    """Stand-in for the paper's "Cocaine 175 to Control 189" CLARITY
+    registration (both phantoms share the envelope anatomy but differ in
+    texture and a seeded warp, like affinely pre-registered subjects)."""
+    m0 = clarity_phantom(shape, subject=template_subject, dtype=dtype)
+    m1 = clarity_phantom(shape, subject=reference_subject, dtype=dtype)
+    return m0, m1

@@ -1,0 +1,23 @@
+"""Regular-grid substrate: geometry, spectral operators, finite differences,
+and scattered interpolation.
+
+These are the single-device versions of the paper's three computational
+kernels (FFT, FD, IP); the distributed versions in :mod:`repro.dist` are
+built on top of the same numerics.
+"""
+
+from repro.grid.grid import Grid3D
+from repro.grid.spectral import SpectralOps
+from repro.grid.fd import gradient_fd8, divergence_fd8, d1_fd8_periodic, FD8_STENCIL
+from repro.grid.interp import interp3d, interp3d_vector
+
+__all__ = [
+    "Grid3D",
+    "SpectralOps",
+    "gradient_fd8",
+    "divergence_fd8",
+    "d1_fd8_periodic",
+    "FD8_STENCIL",
+    "interp3d",
+    "interp3d_vector",
+]

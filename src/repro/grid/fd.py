@@ -1,0 +1,74 @@
+"""8th-order central finite differences on a periodic grid.
+
+The multi-GPU version of CLAIRE replaces spectral first derivatives with an
+8th-order central FD scheme (paper §3.2): it is more accurate than FFTs at
+the considered resolutions in single precision and needs only a 4-deep
+ghost layer instead of an all-to-all.
+
+Two entry points are provided:
+
+* periodic kernels (``np.roll`` based) for the single-device solver, and
+* a ghost-layer kernel ``d1_fd8_ghost_axis0`` used by the distributed FD
+  (:mod:`repro.dist.dfd`), which differentiates along the slab axis of an
+  array padded with ``GHOST_WIDTH`` planes on each side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: central-difference coefficients for offsets 1..4 (8th order, first derivative)
+FD8_STENCIL = np.array([4.0 / 5.0, -1.0 / 5.0, 4.0 / 105.0, -1.0 / 280.0])
+
+#: ghost planes needed on each side by the 8th-order stencil
+GHOST_WIDTH = 4
+
+
+def d1_fd8_periodic(f: np.ndarray, axis: int, h: float) -> np.ndarray:
+    """First derivative along ``axis`` with periodic wrap-around."""
+    out = np.zeros_like(f)
+    for off, c in enumerate(FD8_STENCIL, start=1):
+        out += c * (np.roll(f, -off, axis=axis) - np.roll(f, off, axis=axis))
+    out *= 1.0 / h
+    return out
+
+
+def gradient_fd8(f: np.ndarray, spacing) -> np.ndarray:
+    """Gradient of a scalar field -> ``(3, N1, N2, N3)`` (periodic)."""
+    out = np.empty((3,) + f.shape, dtype=f.dtype)
+    for ax in range(3):
+        out[ax] = d1_fd8_periodic(f, ax - 3, spacing[ax])
+    return out
+
+
+def divergence_fd8(v: np.ndarray, spacing) -> np.ndarray:
+    """Divergence of a vector field ``(3, N1, N2, N3)`` -> scalar (periodic)."""
+    out = d1_fd8_periodic(v[0], -3, spacing[0])
+    out += d1_fd8_periodic(v[1], -2, spacing[1])
+    out += d1_fd8_periodic(v[2], -1, spacing[2])
+    return out
+
+
+def d1_fd8_ghost_axis0(f_padded: np.ndarray, h: float) -> np.ndarray:
+    """First derivative along axis 0 of an array padded with ``GHOST_WIDTH``
+    planes on each side; returns the derivative on the interior only.
+
+    This is the local kernel of the distributed FD: the caller supplies the
+    ghost planes (received from neighbouring ranks), mirroring the paper's
+    slab-decomposition ghost exchange of size ``O(N2*N3)``.
+    """
+    g = GHOST_WIDTH
+    n0 = f_padded.shape[0] - 2 * g
+    if n0 <= 0:
+        raise ValueError("padded array too small for the interior")
+    out = np.zeros((n0,) + f_padded.shape[1:], dtype=f_padded.dtype)
+    for off, c in enumerate(FD8_STENCIL, start=1):
+        out += c * (f_padded[g + off:g + off + n0] - f_padded[g - off:g - off + n0])
+    out *= 1.0 / h
+    return out
+
+
+def pad_periodic_axis0(f: np.ndarray, width: int = GHOST_WIDTH) -> np.ndarray:
+    """Pad a field along axis 0 with periodic ghost planes (single-rank
+    counterpart of the distributed ghost exchange; used in tests)."""
+    return np.concatenate([f[-width:], f, f[:width]], axis=0)

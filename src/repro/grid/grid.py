@@ -1,0 +1,119 @@
+"""Periodic 3D grid geometry.
+
+The paper discretizes the domain ``Omega = [0, 2*pi)^3`` with periodic
+boundary conditions on a regular grid of ``N = N1*N2*N3`` points
+(Table 1).  ``Grid3D`` owns shapes, spacings, coordinates, and integer
+wavenumbers in both full-complex and real-FFT layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+TWO_PI = 2.0 * np.pi
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """Regular periodic grid on ``[0, 2*pi)^3``.
+
+    Parameters
+    ----------
+    shape
+        Number of grid points per axis ``(N1, N2, N3)``.
+    """
+
+    shape: tuple
+
+    def __post_init__(self):
+        if len(self.shape) != 3:
+            raise ValueError("Grid3D expects a 3-tuple shape")
+        if any(int(n) < 2 for n in self.shape):
+            raise ValueError("each axis needs at least 2 points")
+        object.__setattr__(self, "shape", tuple(int(n) for n in self.shape))
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Total number of grid points ``N1*N2*N3``."""
+        n1, n2, n3 = self.shape
+        return n1 * n2 * n3
+
+    @property
+    def spacing(self) -> tuple:
+        """Grid spacing per axis, ``h_i = 2*pi / N_i``."""
+        return tuple(TWO_PI / n for n in self.shape)
+
+    @property
+    def cell_volume(self) -> float:
+        h1, h2, h3 = self.spacing
+        return h1 * h2 * h3
+
+    def axis_coords(self, axis: int, dtype=np.float64) -> np.ndarray:
+        """Physical coordinates of grid points along one axis."""
+        n = self.shape[axis]
+        return (TWO_PI / n) * np.arange(n, dtype=dtype)
+
+    def coords(self, dtype=np.float64) -> tuple:
+        """Broadcastable coordinate arrays ``(x1, x2, x3)`` (sparse meshgrid)."""
+        ax = [self.axis_coords(i, dtype) for i in range(3)]
+        return tuple(np.meshgrid(*ax, indexing="ij", sparse=True))
+
+    def mesh(self, dtype=np.float64) -> np.ndarray:
+        """Dense coordinate array of shape ``(3, N1, N2, N3)``."""
+        x1, x2, x3 = self.coords(dtype)
+        out = np.empty((3,) + self.shape, dtype=dtype)
+        out[0], out[1], out[2] = np.broadcast_arrays(x1, x2, x3)
+        return out
+
+    # -- wavenumbers -------------------------------------------------------
+    @cached_property
+    def wavenumbers(self) -> tuple:
+        """Integer wavenumbers per axis, rfft layout on the last axis.
+
+        Returns broadcastable arrays ``(k1, k2, k3)`` with shapes
+        ``(N1,1,1)``, ``(1,N2,1)``, ``(1,1,N3//2+1)``.
+        """
+        n1, n2, n3 = self.shape
+        k1 = np.fft.fftfreq(n1, d=1.0 / n1).reshape(n1, 1, 1)
+        k2 = np.fft.fftfreq(n2, d=1.0 / n2).reshape(1, n2, 1)
+        k3 = np.fft.rfftfreq(n3, d=1.0 / n3).reshape(1, 1, n3 // 2 + 1)
+        return (k1, k2, k3)
+
+    @property
+    def spectral_shape(self) -> tuple:
+        """Shape of the real-FFT spectrum ``(N1, N2, N3//2+1)``."""
+        n1, n2, n3 = self.shape
+        return (n1, n2, n3 // 2 + 1)
+
+    # -- allocation helpers --------------------------------------------------
+    def zeros(self, dtype=np.float64) -> np.ndarray:
+        """A zero scalar field."""
+        return np.zeros(self.shape, dtype=dtype)
+
+    def zeros_vector(self, dtype=np.float64) -> np.ndarray:
+        """A zero vector field of shape ``(3, N1, N2, N3)``."""
+        return np.zeros((3,) + self.shape, dtype=dtype)
+
+    # -- integrals / norms ---------------------------------------------------
+    def integrate(self, field: np.ndarray) -> float:
+        """Approximate ``\\int_Omega field dx`` with the trapezoid/midpoint rule
+        (exact for periodic smooth functions up to spectral accuracy)."""
+        return float(np.sum(field, dtype=np.float64) * self.cell_volume)
+
+    def inner(self, a: np.ndarray, b: np.ndarray) -> float:
+        """L2 inner product ``<a, b>_{L2(Omega)}`` (works for vector fields too)."""
+        return float(np.sum(a.astype(np.float64) * b, dtype=np.float64) * self.cell_volume)
+
+    def norm(self, a: np.ndarray) -> float:
+        """L2 norm induced by :meth:`inner`."""
+        return float(np.sqrt(max(self.inner(a, a), 0.0)))
+
+    def coarsen(self, factor: int = 2) -> "Grid3D":
+        """The coarse grid with each axis divided by ``factor``."""
+        if any(n % factor for n in self.shape):
+            raise ValueError(f"shape {self.shape} not divisible by {factor}")
+        return Grid3D(tuple(n // factor for n in self.shape))

@@ -1,0 +1,132 @@
+"""Scattered-data interpolation (the IP kernel).
+
+The semi-Lagrangian scheme needs interpolation of scalar and vector fields
+at the off-grid end points of backward characteristics (paper §3.1).  As in
+the paper we provide first-order trilinear interpolation (GPU-TXTLIN) and
+third-order Lagrange polynomial interpolation (GPU-TXTLAG):
+
+``f(x) = sum_{i,j,k=0..d} f_ijk phi_i(x1) phi_j(x2) phi_k(x3)``
+
+Query coordinates are given in *grid-index units* (physical coordinate
+divided by the grid spacing).  Axes may wrap periodically (global fields)
+or be pre-shifted into a ghost-padded local frame (distributed kernel,
+:mod:`repro.dist.dinterp`), selected per axis via ``wrap``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _axis_indices(q: np.ndarray, n: int, wrap: bool, lo_off: int, n_nodes: int):
+    """Integer base index and fractional offset along one axis.
+
+    Returns ``(base, t)`` where ``base`` is the index of stencil node 0
+    (``floor(q) + lo_off``) and ``t = q - floor(q)``.
+    """
+    qf = np.floor(q)
+    t = q - qf
+    base = qf.astype(np.intp) + lo_off
+    if wrap:
+        base %= n
+    else:
+        # caller guarantees the stencil fits; clip guards rounding noise
+        base = np.clip(base, 0, n - n_nodes)
+    return base, t
+
+
+def _linear_weights(t: np.ndarray):
+    return (1.0 - t, t)
+
+
+def _cubic_weights(t: np.ndarray):
+    """Lagrange basis on nodes {-1, 0, 1, 2} evaluated at ``t`` in [0, 1]."""
+    tm = t - 1.0
+    tmm = t - 2.0
+    tp = t + 1.0
+    w0 = -t * tm * tmm / 6.0
+    w1 = tp * tm * tmm / 2.0
+    w2 = -tp * t * tmm / 2.0
+    w3 = tp * t * tm / 6.0
+    return (w0, w1, w2, w3)
+
+
+def interp3d(f: np.ndarray, q: np.ndarray, order: int = 1,
+             wrap=(True, True, True)) -> np.ndarray:
+    """Interpolate scalar field ``f`` at query points ``q``.
+
+    Parameters
+    ----------
+    f
+        Scalar field of shape ``(N1, N2, N3)``.
+    q
+        Query coordinates in grid-index units, shape ``(3, ...)``.
+    order
+        1 (trilinear) or 3 (cubic Lagrange).
+    wrap
+        Per-axis periodic wrapping; disable for ghost-padded local frames.
+
+    Returns
+    -------
+    Values of shape ``q.shape[1:]`` with ``f``'s dtype.
+    """
+    if order == 1:
+        lo_off, n_nodes, wfun = 0, 2, _linear_weights
+    elif order == 3:
+        lo_off, n_nodes, wfun = -1, 4, _cubic_weights
+    else:
+        raise ValueError("order must be 1 or 3")
+
+    n1, n2, n3 = f.shape
+    out_shape = q.shape[1:]
+    qs = q.reshape(3, -1)
+    dtype = f.dtype
+
+    b1, t1 = _axis_indices(qs[0], n1, wrap[0], lo_off, n_nodes)
+    b2, t2 = _axis_indices(qs[1], n2, wrap[1], lo_off, n_nodes)
+    b3, t3 = _axis_indices(qs[2], n3, wrap[2], lo_off, n_nodes)
+    w1 = wfun(t1.astype(dtype, copy=False))
+    w2 = wfun(t2.astype(dtype, copy=False))
+    w3 = wfun(t3.astype(dtype, copy=False))
+
+    # per-axis node indices (n_nodes, npts)
+    if wrap[0]:
+        i1 = [(b1 + a) % n1 for a in range(n_nodes)]
+    else:
+        i1 = [b1 + a for a in range(n_nodes)]
+    if wrap[1]:
+        i2 = [(b2 + a) % n2 for a in range(n_nodes)]
+    else:
+        i2 = [b2 + a for a in range(n_nodes)]
+    if wrap[2]:
+        i3 = [(b3 + a) % n3 for a in range(n_nodes)]
+    else:
+        i3 = [b3 + a for a in range(n_nodes)]
+
+    flat = f.ravel()
+    acc = np.zeros(qs.shape[1], dtype=dtype)
+    for a in range(n_nodes):
+        row1 = i1[a] * n2
+        for b in range(n_nodes):
+            row12 = (row1 + i2[b]) * n3
+            wab = w1[a] * w2[b]
+            for c in range(n_nodes):
+                acc += (wab * w3[c]) * flat[row12 + i3[c]]
+    return acc.reshape(out_shape)
+
+
+def interp3d_vector(v: np.ndarray, q: np.ndarray, order: int = 1,
+                    wrap=(True, True, True)) -> np.ndarray:
+    """Interpolate a vector field ``(3, N1, N2, N3)`` component-wise."""
+    out = np.empty((3,) + q.shape[1:], dtype=v.dtype)
+    for c in range(3):
+        out[c] = interp3d(v[c], q, order=order, wrap=wrap)
+    return out
+
+
+def phys_to_grid(coords: np.ndarray, spacing) -> np.ndarray:
+    """Convert physical coordinates ``(3, ...)`` to grid-index units."""
+    out = np.empty_like(coords)
+    for ax in range(3):
+        out[ax] = coords[ax] / spacing[ax]
+    return out

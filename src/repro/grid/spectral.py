@@ -1,0 +1,280 @@
+"""Spectral (FFT-based) operators on a periodic grid.
+
+CLAIRE evaluates the regularization operator ``A`` (vector Laplacian for
+the default H1-Sobolev seminorm), its inverse, the Leray projection, and
+the grid restriction/prolongation of the two-level preconditioner in the
+spectral domain: "inverting higher order differential operators can be
+done at the cost of two FFTs and a Hadamard product" (paper §2).
+
+All transforms use ``norm="forward"`` so spectral coefficients are mode
+amplitudes independent of resolution — this makes the spectral
+restriction/prolongation of ``2LInvH0`` a plain truncation/zero-padding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.fft as sfft
+
+from repro.grid.grid import Grid3D
+
+#: number of worker threads scipy.fft may use; kept at 1 because the
+#: distributed runtime already runs one thread per simulated GPU
+FFT_WORKERS = 1
+
+_AXES = (-3, -2, -1)
+
+
+class SpectralOps:
+    """Spectral differential operators bound to a :class:`Grid3D`.
+
+    Fields may be scalar ``(N1,N2,N3)`` or carry leading component axes,
+    e.g. vector fields ``(3,N1,N2,N3)``; transforms act on the last three
+    axes.
+    """
+
+    def __init__(self, grid: Grid3D):
+        self.grid = grid
+        #: derivative wavenumbers: Nyquist modes are zeroed so that odd-order
+        #: operators (gradient, divergence, Leray, k x k cross terms) preserve
+        #: the Hermitian symmetry of the rfft spectrum on even grids.  With the
+        #: full wavenumbers the cross terms ``k_i k_j`` at the Nyquist plane
+        #: are not even functions of k and ``irfftn`` silently symmetrizes the
+        #: spectrum, corrupting e.g. the Leray projection.
+        self.k = _derivative_wavenumbers(grid)
+        k1, k2, k3 = self.k
+        #: ``|k|^2`` built from the derivative wavenumbers (the discrete
+        #: Laplacian consistent with the spectral gradient/divergence)
+        self.k2 = k1 * k1 + k2 * k2 + k3 * k3
+        #: mask of annihilated modes (zero mode + Nyquist planes)
+        self._nonzero = self.k2 > 0
+        with np.errstate(divide="ignore"):
+            inv = np.where(self._nonzero, 1.0 / np.where(self._nonzero, self.k2, 1.0), 0.0)
+        self._inv_k2 = inv
+
+    # ------------------------------------------------------------------ FFT
+    def fwd(self, f: np.ndarray) -> np.ndarray:
+        """Real-to-complex 3D FFT over the last three axes."""
+        return sfft.rfftn(f, axes=_AXES, norm="forward", workers=FFT_WORKERS)
+
+    def inv(self, F: np.ndarray, dtype=None) -> np.ndarray:
+        """Complex-to-real inverse FFT; optionally cast to ``dtype``."""
+        out = sfft.irfftn(F, s=self.grid.shape, axes=_AXES, norm="forward",
+                          workers=FFT_WORKERS)
+        if dtype is not None and out.dtype != dtype:
+            out = out.astype(dtype)
+        return out
+
+    # --------------------------------------------------- regularization A
+    def reg_symbol(self, model: str = "h1") -> np.ndarray:
+        """Spectral symbol of the regularization operator ``A``.
+
+        ``h1`` : vector Laplacian, symbol ``|k|^2`` (paper default);
+        ``h2`` : biharmonic, symbol ``|k|^4``.
+        """
+        if model == "h1":
+            return self.k2
+        if model == "h2":
+            return self.k2 * self.k2
+        raise ValueError(f"unknown regularization model {model!r}")
+
+    def apply_reg(self, v: np.ndarray, beta: float, model: str = "h1",
+                  div_penalty: float = 0.0, null_space: str = "zero") -> np.ndarray:
+        """Apply ``beta*A`` (plus optional divergence penalty) to a vector field.
+
+        With the penalty the per-mode operator is
+        ``beta * (sym(k) I + gamma k k^T)`` where ``gamma = div_penalty``.
+
+        ``null_space`` controls the action on the modes annihilated by the
+        seminorm (zero mode and Nyquist planes): ``"zero"`` keeps the true
+        seminorm semantics (used in the objective/gradient); ``"identity"``
+        maps them with symbol 1 so ``beta*A`` becomes strictly SPD and
+        ``apply_inv_reg`` is its exact inverse — required inside the ``H0``
+        preconditioner systems, which are otherwise singular wherever the
+        image gradient vanishes.
+        """
+        sym = self.reg_symbol(model)
+        if null_space == "identity":
+            sym = np.where(sym > 0, sym, 1.0)
+        V = self.fwd(v)
+        out = sym * V
+        if div_penalty != 0.0:
+            k1, k2, k3 = self.k
+            kv = k1 * V[0] + k2 * V[1] + k3 * V[2]
+            out[0] += div_penalty * k1 * kv
+            out[1] += div_penalty * k2 * kv
+            out[2] += div_penalty * k3 * kv
+        out *= beta
+        return self.inv(out, dtype=v.dtype)
+
+    def apply_inv_reg(self, r: np.ndarray, beta: float, model: str = "h1",
+                      div_penalty: float = 0.0) -> np.ndarray:
+        """Apply ``(beta*A)^{-1}`` to a vector field.
+
+        The H1 seminorm has a null space of constants; following CLAIRE the
+        inverse acts as the identity on the zero mode so the operator stays
+        symmetric positive definite (usable as a PCG preconditioner).
+
+        With a divergence penalty the per-mode inverse follows from
+        Sherman-Morrison:
+        ``(s I + g k k^T)^{-1} = (1/s)(I - (g/(s + g |k|^2)) k k^T)``.
+        """
+        sym = self.reg_symbol(model)
+        nz = sym > 0
+        inv_sym = np.where(nz, 1.0 / np.where(nz, sym, 1.0), 1.0)
+        R = self.fwd(r)
+        out = inv_sym * R
+        if div_penalty != 0.0:
+            k1, k2, k3 = self.k
+            kv = k1 * out[0] + k2 * out[1] + k3 * out[2]
+            denom = sym + div_penalty * self.k2
+            factor = np.where(nz, div_penalty / np.where(nz, denom, 1.0), 0.0)
+            out[0] -= factor * k1 * kv
+            out[1] -= factor * k2 * kv
+            out[2] -= factor * k3 * kv
+        out *= 1.0 / beta
+        return self.inv(out, dtype=r.dtype)
+
+    def remove_null_modes(self, f: np.ndarray) -> np.ndarray:
+        """Project out the modes annihilated by the derivative operators
+        (zero mode and Nyquist planes).  Useful to build test fields on which
+        ``apply_inv_reg(apply_reg(.))`` is the exact identity."""
+        return self.inv(self.fwd(f) * self._nonzero, dtype=f.dtype)
+
+    # ------------------------------------------------------ leray projection
+    def leray(self, v: np.ndarray) -> np.ndarray:
+        """Project a vector field onto (discretely) divergence-free fields:
+        ``v <- v - grad lap^{-1} div v`` (zero mode untouched)."""
+        k1, k2, k3 = self.k
+        V = self.fwd(v)
+        kv = (k1 * V[0] + k2 * V[1] + k3 * V[2]) * self._inv_k2
+        V[0] -= k1 * kv
+        V[1] -= k2 * kv
+        V[2] -= k3 * kv
+        return self.inv(V, dtype=v.dtype)
+
+    # ----------------------------------------------------- first derivatives
+    def gradient(self, f: np.ndarray) -> np.ndarray:
+        """Spectral gradient of a scalar field -> ``(3, N1, N2, N3)``."""
+        F = self.fwd(f)
+        k1, k2, k3 = self.k
+        out = np.empty((3,) + self.grid.shape, dtype=f.dtype)
+        out[0] = self.inv(1j * k1 * F, dtype=f.dtype)
+        out[1] = self.inv(1j * k2 * F, dtype=f.dtype)
+        out[2] = self.inv(1j * k3 * F, dtype=f.dtype)
+        return out
+
+    def divergence(self, v: np.ndarray) -> np.ndarray:
+        """Spectral divergence of a vector field -> scalar field."""
+        V = self.fwd(v)
+        k1, k2, k3 = self.k
+        D = 1j * (k1 * V[0] + k2 * V[1] + k3 * V[2])
+        return self.inv(D, dtype=v.dtype)
+
+    def laplacian(self, f: np.ndarray) -> np.ndarray:
+        """Spectral Laplacian (negative semi-definite)."""
+        return self.inv(-self.k2 * self.fwd(f), dtype=f.dtype)
+
+    def inverse_laplacian(self, f: np.ndarray) -> np.ndarray:
+        """Solve ``lap u = f`` for the zero-mean part of ``f`` (zero mode -> 0)."""
+        return self.inv(-self._inv_k2 * self.fwd(f), dtype=f.dtype)
+
+    # --------------------------------------------- restriction / prolongation
+    def restrict(self, f: np.ndarray, coarse: Grid3D) -> np.ndarray:
+        """Spectral restriction onto ``coarse`` (low-mode truncation).
+
+        Coarse Nyquist modes are zeroed so that prolong(restrict(f)) equals
+        the ideal low-pass filter of ``f``.
+        """
+        F = self.fwd(f)
+        Fc = _truncate_spectrum(F, self.grid.shape, coarse.shape)
+        ops_c = SpectralOps(coarse)
+        return ops_c.inv(Fc, dtype=f.dtype)
+
+    def prolong(self, fc: np.ndarray, coarse: Grid3D) -> np.ndarray:
+        """Spectral prolongation of a coarse-grid field onto this (fine) grid."""
+        ops_c = SpectralOps(coarse)
+        Fc = ops_c.fwd(fc)
+        F = _pad_spectrum(Fc, coarse.shape, self.grid.shape,
+                          leading=fc.shape[:-3])
+        return self.inv(F, dtype=fc.dtype)
+
+    def lowpass(self, f: np.ndarray, coarse: Grid3D) -> np.ndarray:
+        """Ideal low-pass keeping only modes representable on ``coarse``."""
+        F = self.fwd(f)
+        F *= _lowpass_mask(self.grid, coarse)
+        return self.inv(F, dtype=f.dtype)
+
+    def highpass(self, f: np.ndarray, coarse: Grid3D) -> np.ndarray:
+        """Complement of :meth:`lowpass` (the HIGHPASS of Algorithm 1)."""
+        return f - self.lowpass(f, coarse)
+
+
+# --------------------------------------------------------------------------
+# wavenumber / spectrum reshaping helpers (shared with the distributed FFT)
+# --------------------------------------------------------------------------
+
+def _derivative_wavenumbers(grid: Grid3D) -> tuple:
+    """Integer wavenumbers with Nyquist modes zeroed (see class docstring)."""
+    k1, k2, k3 = (k.copy() for k in grid.wavenumbers)
+    n1, n2, n3 = grid.shape
+    if n1 % 2 == 0:
+        k1[n1 // 2, 0, 0] = 0.0
+    if n2 % 2 == 0:
+        k2[0, n2 // 2, 0] = 0.0
+    if n3 % 2 == 0:
+        k3[0, 0, n3 // 2] = 0.0
+    return (k1, k2, k3)
+
+
+def _kept_indices(n_fine: int, n_coarse: int):
+    """Indices along a full-complex axis of the fine spectrum that survive
+    restriction to ``n_coarse`` (coarse Nyquist dropped)."""
+    m = n_coarse // 2
+    pos = np.arange(0, m)
+    neg = np.arange(n_fine - (n_coarse - m - 1), n_fine)
+    return pos, neg
+
+
+def _truncate_spectrum(F: np.ndarray, fine_shape, coarse_shape) -> np.ndarray:
+    """Truncate an rfft spectrum from ``fine_shape`` to ``coarse_shape``."""
+    n1f, n2f, n3f = fine_shape
+    n1c, n2c, n3c = coarse_shape
+    lead = F.shape[:-3]
+    Fc = np.zeros(lead + (n1c, n2c, n3c // 2 + 1), dtype=F.dtype)
+    p1, g1 = _kept_indices(n1f, n1c)
+    p2, g2 = _kept_indices(n2f, n2c)
+    m3 = n3c // 2  # rfft axis: keep frequencies 0 .. n3c/2-1, coarse Nyquist = 0
+    for src1, dst1 in ((p1, p1), (g1, np.arange(n1c - len(g1), n1c))):
+        for src2, dst2 in ((p2, p2), (g2, np.arange(n2c - len(g2), n2c))):
+            Fc[..., dst1[:, None], dst2[None, :], :m3] = \
+                F[..., src1[:, None], src2[None, :], :m3]
+    return Fc
+
+
+def _pad_spectrum(Fc: np.ndarray, coarse_shape, fine_shape, leading=()) -> np.ndarray:
+    """Zero-pad an rfft spectrum from ``coarse_shape`` to ``fine_shape``.
+
+    The coarse Nyquist modes are dropped (set to zero on the fine grid) to
+    keep prolongation the exact adjoint of restriction.
+    """
+    n1c, n2c, n3c = coarse_shape
+    n1f, n2f, n3f = fine_shape
+    F = np.zeros(tuple(leading) + (n1f, n2f, n3f // 2 + 1), dtype=Fc.dtype)
+    p1, g1c = _kept_indices(n1f, n1c)
+    p2, g2c = _kept_indices(n2f, n2c)
+    src1_neg = np.arange(n1c - len(g1c), n1c)
+    src2_neg = np.arange(n2c - len(g2c), n2c)
+    m3 = n3c // 2
+    for dst1, src1 in ((p1, p1), (g1c, src1_neg)):
+        for dst2, src2 in ((p2, p2), (g2c, src2_neg)):
+            F[..., dst1[:, None], dst2[None, :], :m3] = \
+                Fc[..., src1[:, None], src2[None, :], :m3]
+    return F
+
+
+def _lowpass_mask(fine: Grid3D, coarse: Grid3D) -> np.ndarray:
+    """Boolean mask over the fine rfft spectrum of modes kept by restriction."""
+    k1, k2, k3 = fine.wavenumbers
+    lim = [c // 2 for c in coarse.shape]
+    return ((np.abs(k1) < lim[0]) & (np.abs(k2) < lim[1]) & (np.abs(k3) < lim[2]))

@@ -1,0 +1,17 @@
+"""Registration quality metrics: mismatch, deformation map reconstruction,
+and Jacobian-determinant diffeomorphism checks."""
+
+from repro.metrics.mismatch import relative_mismatch, residual_image
+from repro.metrics.jacobian import (
+    deformation_displacement,
+    deformation_map,
+    jacobian_determinant,
+)
+
+__all__ = [
+    "relative_mismatch",
+    "residual_image",
+    "deformation_displacement",
+    "deformation_map",
+    "jacobian_determinant",
+]

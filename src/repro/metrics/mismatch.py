@@ -1,0 +1,22 @@
+"""Image mismatch metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.grid import Grid3D
+
+
+def relative_mismatch(m_deformed: np.ndarray, m1: np.ndarray,
+                      m0: np.ndarray) -> float:
+    """``||m(1) - m1||_L2 / ||m0 - m1||_L2`` — the paper's "mism." column."""
+    grid = Grid3D(m1.shape)
+    denom = grid.norm(m0 - m1)
+    if denom == 0.0:
+        return 0.0
+    return grid.norm(m_deformed - m1) / denom
+
+
+def residual_image(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Absolute residual ``|a - b|`` (the residual views of Figure 1)."""
+    return np.abs(a - b)

@@ -1,0 +1,20 @@
+"""Semi-Lagrangian transport solvers.
+
+Implements the four hyperbolic PDE solves of the reduced-space
+Gauss-Newton-Krylov method (paper §2):
+
+* state equation (1b): ``dm/dt + v . grad m = 0``
+* adjoint equation (3): ``-dl/dt - div(l v) = 0`` (backward in time)
+* incremental state (6) and incremental adjoint (7) for Hessian matvecs.
+
+The advection term is discretized along backward characteristics computed
+with a second-order Runge-Kutta scheme; off-grid values are interpolated
+with the trilinear / cubic-Lagrange kernels of :mod:`repro.grid.interp`.
+Because CLAIRE's velocity is *stationary*, characteristics are computed
+once per velocity and reused for every time step and every PDE.
+"""
+
+from repro.transport.characteristics import Trajectories, cfl_number
+from repro.transport.solver import TransportSolver
+
+__all__ = ["Trajectories", "TransportSolver", "cfl_number"]

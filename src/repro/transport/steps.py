@@ -1,0 +1,51 @@
+"""Single time-step kernels of the semi-Lagrangian scheme.
+
+Pure functions operating on arrays; orchestration (time loop, caching,
+accumulation of the reduced gradient) lives in
+:class:`repro.transport.solver.TransportSolver`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.interp import interp3d
+
+
+def state_step(m: np.ndarray, y_bwd: np.ndarray, order: int) -> np.ndarray:
+    """Advance the state equation ``dm/dt + v . grad m = 0`` by one step:
+    ``m^{n+1}(x) = m^n(y_bwd(x))``."""
+    return interp3d(m, y_bwd, order=order)
+
+
+def adjoint_step(lam: np.ndarray, y_fwd: np.ndarray, factor: np.ndarray,
+                 order: int) -> np.ndarray:
+    """March the conservative adjoint ``-dl/dt - div(l v) = 0`` one step
+    backward in time.
+
+    Along forward characteristics ``d lam/dt = -lam * div v``; integrating
+    backward from ``t^{n+1}`` to ``t^n`` gives
+    ``lam^n(x) = lam^{n+1}(y_fwd(x)) * exp(dt * div v)`` with the divergence
+    averaged over both end points (second order).  ``factor`` is the
+    precomputed integrating factor (stationary velocity).
+    """
+    out = interp3d(lam, y_fwd, order=order)
+    out *= factor
+    return out
+
+
+def incremental_state_step(mtilde: np.ndarray, g_n: np.ndarray,
+                           g_np1: np.ndarray, y_bwd: np.ndarray,
+                           dt: float, order: int) -> np.ndarray:
+    """Advance the incremental state equation (6):
+    ``d mt/dt + v . grad mt = -vt . grad m`` with trapezoidal source
+    integration along the characteristic:
+
+    ``mt^{n+1}(x) = mt^n(y) - dt/2 * (g^n(y) + g^{n+1}(x))``
+
+    where ``g^n = vt . grad m^n`` and ``y = y_bwd(x)``.
+    """
+    out = interp3d(mtilde, y_bwd, order=order)
+    out -= (0.5 * dt) * interp3d(g_n, y_bwd, order=order)
+    out -= (0.5 * dt) * g_np1
+    return out

@@ -1,0 +1,13 @@
+"""Shared utilities: configuration, timers, RNG helpers, logging."""
+
+from repro.utils.config import RegistrationConfig, SolverTolerances
+from repro.utils.timers import Timer, TimerRegistry
+from repro.utils.rng import default_rng
+
+__all__ = [
+    "RegistrationConfig",
+    "SolverTolerances",
+    "Timer",
+    "TimerRegistry",
+    "default_rng",
+]

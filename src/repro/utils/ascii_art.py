@@ -1,0 +1,65 @@
+"""Terminal rendering of image slices (no plotting stack available).
+
+Renders axial slices of 3D volumes as ASCII intensity ramps — used by the
+example scripts to show the Figure 1-style before/after residuals
+directly in the terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: dark -> bright character ramp
+RAMP = " .:-=+*#%@"
+
+
+def render_slice(field: np.ndarray, axis: int = 2, index: int | None = None,
+                 width: int = 48, vmin: float | None = None,
+                 vmax: float | None = None) -> str:
+    """Render one slice of a 3D scalar field as ASCII art.
+
+    Parameters
+    ----------
+    field
+        Scalar volume ``(N1, N2, N3)``.
+    axis
+        Slicing axis (default: axial, ``x3``).
+    index
+        Slice index (default: middle).
+    width
+        Target character width (rows are downsampled ~2:1 to compensate
+        for character aspect ratio).
+    """
+    if field.ndim != 3:
+        raise ValueError("render_slice expects a 3D scalar field")
+    if index is None:
+        index = field.shape[axis] // 2
+    sl = [slice(None)] * 3
+    sl[axis] = index
+    img = np.asarray(field[tuple(sl)], dtype=np.float64)
+    lo = float(np.min(img)) if vmin is None else vmin
+    hi = float(np.max(img)) if vmax is None else vmax
+    if hi <= lo:
+        hi = lo + 1.0
+    # downsample to terminal size
+    step_c = max(1, img.shape[1] // width)
+    step_r = max(1, img.shape[0] // (width // 2))
+    img = img[::step_r, ::step_c]
+    norm = np.clip((img - lo) / (hi - lo), 0.0, 1.0)
+    idx = (norm * (len(RAMP) - 1)).astype(int)
+    return "\n".join("".join(RAMP[i] for i in row) for row in idx)
+
+
+def side_by_side(blocks: list, labels: list, gap: str = "   ") -> str:
+    """Join multi-line ASCII blocks horizontally with header labels."""
+    split = [b.split("\n") for b in blocks]
+    height = max(len(b) for b in split)
+    widths = [max(len(line) for line in b) for b in split]
+    out = [gap.join(lab.center(w) for lab, w in zip(labels, widths))]
+    for r in range(height):
+        row = []
+        for b, w in zip(split, widths):
+            line = b[r] if r < len(b) else ""
+            row.append(line.ljust(w))
+        out.append(gap.join(row))
+    return "\n".join(out)

@@ -1,0 +1,13 @@
+"""Minimal logging helpers (stdout, optionally rank-prefixed)."""
+
+from __future__ import annotations
+
+import sys
+
+
+def info(msg: str, *, rank: int | None = None, enabled: bool = True) -> None:
+    """Print an informational message, optionally tagged with an MPI-style rank."""
+    if not enabled:
+        return
+    prefix = f"[rank {rank}] " if rank is not None else ""
+    print(f"{prefix}{msg}", file=sys.stdout, flush=True)

@@ -1,0 +1,24 @@
+"""Seeded random-number-generator helpers.
+
+All stochastic pieces of the library (data generators, test harnesses)
+accept either an integer seed or a ``numpy.random.Generator``; this module
+normalizes both into a ``Generator`` so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def default_rng(seed=None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed or pass one through.
+
+    Parameters
+    ----------
+    seed
+        ``None`` (fresh entropy), an integer seed, or an existing
+        ``numpy.random.Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,69 @@
+"""Hierarchical wall-clock timers.
+
+The solver reports component runtimes exactly as the paper's Table 6 does
+(PC / Obj / Grad / Hess / Total).  ``TimerRegistry`` accumulates named
+regions; ``Timer`` is the context-manager front end.
+
+These measure *wall-clock* time of the Python implementation.  Modeled GPU
+time (used for the paper-scale tables) lives in
+:mod:`repro.dist.perfmodel` / :mod:`repro.dist.telemetry`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimerRegistry:
+    """Accumulates elapsed seconds and call counts per named region."""
+
+    seconds: dict = field(default_factory=dict)
+    calls: dict = field(default_factory=dict)
+
+    def add(self, name: str, dt: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + dt
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def get(self, name: str) -> float:
+        return self.seconds.get(name, 0.0)
+
+    def region(self, name: str) -> "Timer":
+        """Return a context manager that accumulates into ``name``."""
+        return Timer(self, name)
+
+    def merge(self, other: "TimerRegistry") -> None:
+        for k, v in other.seconds.items():
+            self.seconds[k] = self.seconds.get(k, 0.0) + v
+        for k, v in other.calls.items():
+            self.calls[k] = self.calls.get(k, 0) + v
+
+    def as_dict(self) -> dict:
+        return dict(self.seconds)
+
+    def report(self) -> str:
+        width = max((len(k) for k in self.seconds), default=4)
+        lines = [
+            f"{k.ljust(width)}  {self.seconds[k]:10.4f} s  ({self.calls[k]} calls)"
+            for k in sorted(self.seconds)
+        ]
+        return "\n".join(lines)
+
+
+class Timer:
+    """Context manager accumulating elapsed time into a registry region."""
+
+    def __init__(self, registry: TimerRegistry, name: str):
+        self.registry = registry
+        self.name = name
+        self._t0 = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+        self.registry.add(self.name, self.elapsed)

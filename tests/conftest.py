@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.grid import Grid3D
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def grid16():
+    return Grid3D((16, 16, 16))
+
+
+@pytest.fixture
+def grid24():
+    return Grid3D((24, 24, 24))
+
+
+@pytest.fixture
+def grid_aniso():
+    """Non-cubic grid to catch axis-ordering bugs."""
+    return Grid3D((12, 16, 20))
+
+
+def smooth_field(grid: Grid3D, kind: int = 0, dtype=np.float64) -> np.ndarray:
+    """A smooth periodic scalar test field."""
+    x1, x2, x3 = grid.coords(dtype)
+    if kind == 0:
+        return (np.sin(x1) * np.cos(2 * x2) + 0.5 * np.sin(x3)).astype(dtype)
+    if kind == 1:
+        return (np.cos(x1 + x2) + np.sin(2 * x3) * np.cos(x1)).astype(dtype)
+    return (np.sin(2 * x1) * np.sin(x2) * np.sin(x3)).astype(dtype)
+
+
+def smooth_velocity(grid: Grid3D, amp: float = 0.3, dtype=np.float64) -> np.ndarray:
+    """The paper's SYN velocity (scaled): v = (sin x3 cos x2 sin x2, ...)."""
+    x1, x2, x3 = grid.coords(dtype)
+    v = np.empty((3,) + grid.shape, dtype=dtype)
+    v[0] = amp * np.sin(x3) * np.ones_like(x1 + x2)
+    v[1] = amp * np.cos(x1) * np.ones_like(x2 + x3)
+    v[2] = amp * np.sin(x2) * np.ones_like(x1 + x3)
+    return v

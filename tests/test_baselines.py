@@ -1,0 +1,102 @@
+"""Tests for the baselines (first-order LDDMM, comparator models)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu_model import (
+    cpu_claire_runtime,
+    gpu14_claire_runtime,
+    modeled_single_gpu_runtime,
+    other_gpu_lddmm_runtime,
+    store_gradient_saving,
+)
+from repro.baselines.gd_lddmm import register_gradient_descent
+from repro.core.counters import SolverCounters
+from repro.data.synthetic import syn_problem
+from repro.grid.grid import Grid3D
+from repro.utils.config import RegistrationConfig
+
+
+@pytest.fixture(scope="module")
+def syn16():
+    grid = Grid3D((16, 16, 16))
+    m0, m1, _ = syn_problem(grid, amplitude=0.3, nt=4)
+    return m0, m1
+
+
+def test_gradient_descent_reduces_mismatch(syn16):
+    m0, m1 = syn16
+    cfg = RegistrationConfig(beta=1e-3, nt=4, interp_order=1)
+    res = register_gradient_descent(m0, m1, cfg, max_iters=30)
+    assert res.mismatch < 0.9
+    assert res.mismatch_history[0] == pytest.approx(1.0, rel=1e-9)
+    assert res.mismatch <= min(res.mismatch_history) + 1e-12
+    assert res.pde_solves > res.iterations  # line search costs PDE solves
+
+
+def test_gradient_descent_needs_more_iterations_than_gn(syn16):
+    """The core claim behind second-order methods."""
+    from repro import register
+
+    m0, m1 = syn16
+    cfg = RegistrationConfig(beta=1e-3, nt=4, interp_order=1,
+                             preconditioner="invH0")
+    gn = register(m0, m1, cfg)
+    gd = register_gradient_descent(m0, m1, cfg, max_iters=2 * gn.counters.gn_iters)
+    # at the same outer-iteration budget (2x), GD has not matched GN
+    assert gd.mismatch > gn.mismatch * 0.99
+
+
+def test_gd_sobolev_beats_l2(syn16):
+    m0, m1 = syn16
+    cfg = RegistrationConfig(beta=1e-3, nt=4, interp_order=1)
+    sob = register_gradient_descent(m0, m1, cfg, max_iters=10, sobolev=True)
+    l2 = register_gradient_descent(m0, m1, cfg, max_iters=10, sobolev=False)
+    assert sob.mismatch <= l2.mismatch + 0.05
+
+
+# ------------------------------------------------------------ cost models
+
+def _counters():
+    c = SolverCounters()
+    c.pde_solves = 100
+    c.grad_evals = 15
+    c.hess_matvecs = 40
+    c.obj_evals = 20
+    c.n_inv_a = 10
+    c.n_inv_h0 = 30
+    c.h0_cg_iters = 300
+    return c
+
+
+def test_modeled_runtime_scales_with_size():
+    c = _counters()
+    t128 = modeled_single_gpu_runtime((128,) * 3, 4, c)
+    t256 = modeled_single_gpu_runtime((256,) * 3, 4, c)
+    assert 6.0 < t256 / t128 < 10.0  # ~8x points
+
+
+def test_modeled_runtime_ballpark():
+    """Paper-like counters at 256^3 must price in the paper's 3-8 s band."""
+    c = SolverCounters()
+    # na02 [C] in Table 6: 14 GN, 28 PCG, 294 inner CG, Nt=4
+    c.pde_solves = 14 * (2 + 2 * 2) + 28 * 2  # grads + linesearch + matvecs
+    c.grad_evals = 15
+    c.hess_matvecs = 28
+    c.obj_evals = 30
+    c.n_inv_a = 3
+    c.n_inv_h0 = 25
+    c.h0_cg_iters = 294
+    t = modeled_single_gpu_runtime((256,) * 3, 4, c, interp_order=1)
+    assert 1.5 < t < 10.0
+
+
+def test_comparator_factors():
+    assert gpu14_claire_runtime(1.0) == pytest.approx(1.7)
+    assert cpu_claire_runtime(1.0) == pytest.approx(34.0)
+    assert other_gpu_lddmm_runtime(1.0) == pytest.approx(50.0)
+
+
+def test_store_gradient_saving_band():
+    frac = store_gradient_saving((256,) * 3, 4, _counters(), interp_order=1)
+    assert 0.0 < frac < 0.5

@@ -1,0 +1,166 @@
+"""Tests for the reduced-space problem: objective, gradient, Hessian.
+
+The gradient check validates the whole forward+adjoint pipeline: the
+directional derivative of the discrete objective must match <g, dv>
+(optimize-then-discretize: agreement up to discretization error).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import RegistrationProblem
+from repro.data.deform import random_velocity, synthesize_reference
+from repro.grid.grid import Grid3D
+from repro.utils.config import RegistrationConfig
+
+
+@pytest.fixture
+def small_problem():
+    grid = Grid3D((20, 20, 20))
+    rng = np.random.default_rng(5)
+    v_true = random_velocity(grid, seed=1, amplitude=0.4, max_mode=2)
+    from tests.conftest import smooth_field
+
+    m0 = 0.5 + 0.4 * smooth_field(grid)
+    m1 = synthesize_reference(m0, v_true, nt=8)
+    cfg = RegistrationConfig(beta=1e-3, nt=8, interp_order=3)
+    return RegistrationProblem(grid, m0, m1, cfg), v_true
+
+
+def test_objective_zero_velocity(small_problem):
+    problem, _ = small_problem
+    v0 = problem.zero_velocity()
+    problem.set_velocity(v0)
+    j = problem.objective()
+    grid = problem.grid
+    ref = 0.5 * grid.inner(problem.m0 - problem.m1, problem.m0 - problem.m1)
+    assert j == pytest.approx(ref, rel=1e-10)
+
+
+def test_objective_decreases_at_truth(small_problem):
+    problem, v_true = small_problem
+    problem.set_velocity(problem.zero_velocity())
+    j0 = problem.objective()
+    problem.set_velocity(v_true)
+    j_true = problem.objective()
+    assert j_true < 0.25 * j0
+
+
+def test_gradient_directional_derivative(small_problem):
+    """FD check: (J(v+eps w) - J(v-eps w)) / 2eps  ==  <g(v), w>."""
+    problem, _ = small_problem
+    grid = problem.grid
+    v = random_velocity(grid, seed=3, amplitude=0.2, max_mode=2)
+    w = random_velocity(grid, seed=4, amplitude=0.2, max_mode=2)
+    problem.set_velocity(v)
+    g = problem.gradient()
+    lhs = grid.inner(g, w)
+    eps = 1e-5
+    jp = problem.objective(v + eps * w)
+    jm = problem.objective(v - eps * w)
+    fd = (jp - jm) / (2 * eps)
+    assert lhs == pytest.approx(fd, rel=2e-2)
+
+
+def test_gradient_regularization_term_only():
+    """With m0 == m1 and v = 0 the data gradient vanishes."""
+    grid = Grid3D((16, 16, 16))
+    from tests.conftest import smooth_field
+
+    m = 0.5 + 0.3 * smooth_field(grid)
+    cfg = RegistrationConfig(beta=1e-1, nt=4)
+    problem = RegistrationProblem(grid, m, m, cfg)
+    problem.set_velocity(problem.zero_velocity())
+    g = problem.gradient()
+    assert np.max(np.abs(g)) < 1e-10
+
+
+def test_hessian_symmetry(small_problem):
+    problem, _ = small_problem
+    grid = problem.grid
+    problem.set_velocity(random_velocity(grid, seed=6, amplitude=0.25,
+                                         max_mode=2))
+    u = random_velocity(grid, seed=7, amplitude=1.0, max_mode=2)
+    w = random_velocity(grid, seed=8, amplitude=1.0, max_mode=2)
+    hu = problem.hess_matvec(u)
+    hw = problem.hess_matvec(w)
+    a = grid.inner(hu, w)
+    b = grid.inner(u, hw)
+    assert a == pytest.approx(b, rel=5e-3)
+
+
+def test_hessian_positive_semidefinite(small_problem):
+    problem, _ = small_problem
+    grid = problem.grid
+    problem.set_velocity(random_velocity(grid, seed=9, amplitude=0.25,
+                                         max_mode=2))
+    for seed in range(10, 14):
+        w = random_velocity(grid, seed=seed, amplitude=1.0, max_mode=3)
+        assert grid.inner(problem.hess_matvec(w), w) > -1e-8
+
+
+def test_hessian_linearity(small_problem):
+    problem, _ = small_problem
+    grid = problem.grid
+    problem.set_velocity(random_velocity(grid, seed=20, amplitude=0.25,
+                                         max_mode=2))
+    u = random_velocity(grid, seed=21, amplitude=1.0, max_mode=2)
+    w = random_velocity(grid, seed=22, amplitude=1.0, max_mode=2)
+    h_lin = problem.hess_matvec(2.0 * u - 0.5 * w)
+    h_sep = 2.0 * problem.hess_matvec(u) - 0.5 * problem.hess_matvec(w)
+    assert np.allclose(h_lin, h_sep, atol=1e-8 * max(1.0, np.max(np.abs(h_sep))))
+
+
+def test_gauss_newton_hessian_at_zero_velocity_is_h0(small_problem):
+    """At v=0 the GN Hessian must act like H0 = beta*A + grad m0 (x) grad m0
+    (the foundation of the InvH0 preconditioner)."""
+    problem, _ = small_problem
+    grid = problem.grid
+    problem.set_velocity(problem.zero_velocity())
+    w = random_velocity(grid, seed=30, amplitude=1.0, max_mode=2)
+    hv = problem.hess_matvec(w)
+    gm = problem.ts.grad(problem.m0)
+    ref = problem.apply_reg(w) + gm * (gm[0] * w[0] + gm[1] * w[1] + gm[2] * w[2])
+    err = grid.norm(hv - ref) / grid.norm(ref)
+    assert err < 5e-2  # agreement up to time-quadrature error
+
+
+def test_mismatch_metric(small_problem):
+    problem, v_true = small_problem
+    problem.set_velocity(problem.zero_velocity())
+    assert problem.mismatch() == pytest.approx(1.0, rel=1e-12)
+    problem.set_velocity(v_true)
+    assert problem.mismatch() < 0.3
+
+
+def test_counters_accounting(small_problem):
+    problem, _ = small_problem
+    problem.set_velocity(problem.zero_velocity())
+    c0 = problem.counters.pde_solves
+    problem.gradient()
+    assert problem.counters.pde_solves == c0 + 1
+    problem.hess_matvec(problem.zero_velocity())
+    assert problem.counters.pde_solves == c0 + 3
+    problem.objective(problem.zero_velocity())
+    assert problem.counters.pde_solves == c0 + 4
+
+
+def test_incompressible_mode():
+    grid = Grid3D((16, 16, 16))
+    from tests.conftest import smooth_field
+
+    m0 = 0.5 + 0.3 * smooth_field(grid)
+    m1 = 0.5 + 0.3 * smooth_field(grid, kind=1)
+    cfg = RegistrationConfig(beta=1e-2, nt=4, incompressible=True)
+    problem = RegistrationProblem(grid, m0, m1, cfg)
+    problem.set_velocity(random_velocity(grid, seed=2, amplitude=0.3))
+    assert np.max(np.abs(problem.ops.divergence(problem.v))) < 1e-8
+    g = problem.gradient()
+    assert np.max(np.abs(problem.ops.divergence(g))) < 1e-8
+
+
+def test_shape_validation():
+    grid = Grid3D((8, 8, 8))
+    cfg = RegistrationConfig()
+    with pytest.raises(ValueError):
+        RegistrationProblem(grid, np.zeros((8, 8, 8)), np.zeros((4, 8, 8)), cfg)

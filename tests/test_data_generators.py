@@ -1,0 +1,130 @@
+"""Tests for the dataset generators (SYN / brain / CLARITY phantoms)."""
+
+import numpy as np
+import pytest
+
+from repro.data.brain import brain_pair, brain_phantom
+from repro.data.clarity import clarity_pair, clarity_phantom
+from repro.data.deform import random_velocity, synthesize_reference, warp_image
+from repro.data.synthetic import syn_problem, syn_template, syn_velocity
+from repro.grid.grid import Grid3D
+from repro.grid.spectral import SpectralOps
+
+
+@pytest.fixture
+def grid():
+    return Grid3D((16, 16, 16))
+
+
+# -------------------------------------------------------------------- SYN
+
+def test_syn_template_values(grid):
+    m0 = syn_template(grid)
+    assert m0.shape == grid.shape
+    assert m0.min() >= 0.0 and m0.max() <= 1.0
+    # m0(0,0,0) = 0; m0(pi/2, pi/2, pi/2) = 1
+    assert m0[0, 0, 0] == pytest.approx(0.0)
+    assert m0[4, 4, 4] == pytest.approx(1.0)  # x = pi/2 at index N/4
+
+
+def test_syn_velocity_amplitude(grid):
+    v = syn_velocity(grid, amplitude=0.7)
+    assert np.max(np.abs(v)) == pytest.approx(0.7, rel=1e-6)
+
+
+def test_syn_problem_consistency(grid):
+    m0, m1, v = syn_problem(grid, amplitude=0.3, nt=4)
+    assert m0.shape == m1.shape == grid.shape
+    # the reference is a genuine deformation of the template
+    assert not np.allclose(m0, m1)
+    assert abs(m0.mean() - m1.mean()) < 0.05  # advection ~preserves mass
+
+
+# ------------------------------------------------------------- velocities
+
+def test_random_velocity_seeded(grid):
+    a = random_velocity(grid, seed=3)
+    b = random_velocity(grid, seed=3)
+    c = random_velocity(grid, seed=4)
+    assert np.array_equal(a, b)
+    assert not np.allclose(a, c)
+
+
+def test_random_velocity_bandlimited(grid):
+    v = random_velocity(grid, seed=1, max_mode=2)
+    ops = SpectralOps(grid)
+    V = ops.fwd(v)
+    k1, k2, k3 = grid.wavenumbers
+    high = (np.abs(k1) > 2) | (np.abs(k2) > 2) | (np.abs(k3) > 2)
+    assert np.max(np.abs(V * high)) < 1e-12
+
+
+def test_random_velocity_divergence_free(grid):
+    v = random_velocity(grid, seed=2, divergence_free=True)
+    ops = SpectralOps(grid)
+    assert np.max(np.abs(ops.divergence(v))) < 1e-8
+
+
+def test_synthesize_reference_identity(grid, rng):
+    m = rng.standard_normal(grid.shape)
+    out = synthesize_reference(m, np.zeros((3,) + grid.shape), nt=2)
+    assert np.allclose(out, m, atol=1e-13)
+    assert warp_image(m, np.zeros((3,) + grid.shape)).shape == m.shape
+
+
+# ---------------------------------------------------------------- phantoms
+
+def test_brain_phantom_range_and_determinism():
+    a = brain_phantom((16, 16, 16), subject=1)
+    b = brain_phantom((16, 16, 16), subject=1)
+    c = brain_phantom((16, 16, 16), subject=2)
+    assert np.array_equal(a, b)
+    assert not np.allclose(a, c)
+    assert a.min() >= 0.0 and a.max() <= 1.0
+    assert a.max() > 0.4  # non-trivial content
+
+
+def test_brain_phantom_has_anatomy():
+    m = brain_phantom((24, 24, 24), subject=0, warp_amplitude=0.0)
+    # brain centre brighter than the domain corner (background)
+    assert m[12, 12, 12] > m[0, 0, 0] + 0.1
+    # ventricles darker than surrounding tissue
+    assert m[12, 12 + 2, 12] < m[12, 12 + 7, 12] + 0.5
+
+
+def test_brain_pair_distinct_subjects():
+    m0, m1 = brain_pair((16, 16, 16), template_subject=10,
+                        reference_subject=1)
+    rel = np.linalg.norm(m0 - m1) / np.linalg.norm(m1)
+    assert 0.05 < rel < 1.0  # related but distinct anatomies
+
+
+def test_clarity_phantom_high_frequency():
+    """CLARITY-like data must carry far more high-frequency energy than a
+    brain phantom (the property that drives eps_H0 = 1e-2 in Table 6)."""
+    shape = (24, 24, 24)
+    grid = Grid3D(shape)
+    ops = SpectralOps(grid)
+    k1, k2, k3 = grid.wavenumbers
+    kk = np.sqrt(k1**2 + k2**2 + k3**2)
+    high = kk >= 6
+
+    def high_fraction(img):
+        F = np.abs(ops.fwd(img - img.mean())) ** 2
+        return float(F[high].sum() / F.sum())
+
+    cl = clarity_phantom(shape, subject=189)
+    br = brain_phantom(shape, subject=1)
+    assert high_fraction(cl) > 2.0 * high_fraction(br)
+
+
+def test_clarity_pair_properties():
+    m0, m1 = clarity_pair((16, 16, 16))
+    assert m0.shape == m1.shape
+    assert not np.allclose(m0, m1)
+    assert 0.0 <= m0.min() and m0.max() <= 1.0
+
+
+def test_phantom_dtype():
+    assert brain_phantom((8, 8, 8), dtype=np.float32).dtype == np.float32
+    assert clarity_phantom((8, 8, 8), dtype=np.float32).dtype == np.float32

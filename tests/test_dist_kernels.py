@@ -1,0 +1,299 @@
+"""Distributed kernels vs single-device references.
+
+The core correctness contract (DESIGN.md): every distributed kernel must
+reproduce the single-device result for any world size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dist.dfd import dist_divergence_fd8, dist_gradient_fd8
+from repro.dist.dfft import DistFFT
+from repro.dist.dinterp import DistInterpolator
+from repro.dist.dspectral import DistSpectralOps
+from repro.dist.launch import launch_spmd
+from repro.dist.slab import SlabDecomp
+from repro.grid.fd import divergence_fd8, gradient_fd8
+from repro.grid.grid import Grid3D
+from repro.grid.interp import interp3d
+from repro.grid.spectral import SpectralOps
+
+WORLDS = [1, 2, 4]
+
+
+def scatter(global_arr, grid, p):
+    return SlabDecomp(grid.shape[0], p).scatter(global_arr,
+                                                axis=global_arr.ndim - 3)
+
+
+def gather(parts, ndim=3):
+    return np.concatenate(parts, axis=ndim - 3)
+
+
+# ----------------------------------------------------------------- dist FFT
+
+@pytest.mark.parametrize("p", WORLDS)
+def test_dfft_roundtrip_and_reference(p, rng):
+    grid = Grid3D((16, 12, 10))
+    f = rng.standard_normal(grid.shape)
+    parts = scatter(f, grid, p)
+    ref_spec = SpectralOps(grid).fwd(f)
+    spec_dec = SlabDecomp(grid.shape[1], p)
+
+    def prog(comm):
+        fft = DistFFT(grid, comm)
+        spec = fft.fwd(parts[comm.rank])
+        back = fft.inv(spec)
+        return spec, back
+
+    out = launch_spmd(prog, p)
+    for r in range(p):
+        spec, back = out[r]
+        assert np.allclose(back, parts[r], atol=1e-12)
+        assert np.allclose(spec, ref_spec[:, spec_dec.slice_of(r), :],
+                           atol=1e-12)
+
+
+@pytest.mark.parametrize("p", [2, 4])
+def test_dfft_charges_comm(p, rng):
+    grid = Grid3D((16, 16, 16))
+    f = rng.standard_normal(grid.shape)
+    parts = scatter(f, grid, p)
+
+    def prog(comm):
+        fft = DistFFT(grid, comm)
+        fft.inv(fft.fwd(parts[comm.rank]))
+        return comm.telemetry.comm_seconds.get("fft_comm", 0.0)
+
+    out = launch_spmd(prog, p)
+    assert all(v > 0 for v in out.results)
+
+
+def test_dfft_single_rank_no_comm(rng):
+    grid = Grid3D((8, 8, 8))
+    f = rng.standard_normal(grid.shape)
+
+    def prog(comm):
+        fft = DistFFT(grid, comm)
+        fft.inv(fft.fwd(f))
+        return comm.telemetry.comm_total()
+
+    assert launch_spmd(prog, 1)[0] == 0.0
+
+
+# ------------------------------------------------------------ dist spectral
+
+@pytest.mark.parametrize("p", WORLDS)
+def test_dist_apply_reg_and_inverse(p, rng):
+    grid = Grid3D((16, 16, 16))
+    ops = SpectralOps(grid)
+    v = rng.standard_normal((3,) + grid.shape)
+    ref = ops.apply_reg(v, 0.3, div_penalty=0.7)
+    ref_inv = ops.apply_inv_reg(v, 0.3, div_penalty=0.7)
+    parts = scatter(v, grid, p)
+
+    def prog(comm):
+        dops = DistSpectralOps(grid, comm)
+        return (dops.apply_reg(parts[comm.rank], 0.3, div_penalty=0.7),
+                dops.apply_inv_reg(parts[comm.rank], 0.3, div_penalty=0.7))
+
+    out = launch_spmd(prog, p)
+    assert np.allclose(gather([o[0] for o in out], ndim=4), ref, atol=1e-10)
+    assert np.allclose(gather([o[1] for o in out], ndim=4), ref_inv, atol=1e-10)
+
+
+@pytest.mark.parametrize("p", WORLDS)
+def test_dist_leray(p, rng):
+    grid = Grid3D((12, 16, 8))
+    ops = SpectralOps(grid)
+    v = rng.standard_normal((3,) + grid.shape)
+    ref = ops.leray(v)
+    parts = scatter(v, grid, p)
+
+    def prog(comm):
+        return DistSpectralOps(grid, comm).leray(parts[comm.rank])
+
+    out = launch_spmd(prog, p)
+    assert np.allclose(gather(list(out), ndim=4), ref, atol=1e-10)
+
+
+@pytest.mark.parametrize("p", WORLDS)
+def test_dist_restrict_prolong_highpass(p, rng):
+    grid = Grid3D((16, 16, 16))
+    coarse = grid.coarsen(2)
+    ops = SpectralOps(grid)
+    f = rng.standard_normal(grid.shape)
+    ref_r = ops.restrict(f, coarse)
+    ref_hp = ops.highpass(f, coarse)
+    fc = rng.standard_normal(coarse.shape)
+    ref_p = ops.prolong(fc, coarse)
+    parts = scatter(f, grid, p)
+    parts_c = scatter(fc, coarse, p)
+
+    def prog(comm):
+        dops = DistSpectralOps(grid, comm)
+        return (dops.restrict(parts[comm.rank], coarse),
+                dops.prolong(parts_c[comm.rank], coarse),
+                dops.highpass(parts[comm.rank], coarse))
+
+    out = launch_spmd(prog, p)
+    assert np.allclose(gather([o[0] for o in out]), ref_r, atol=1e-10)
+    assert np.allclose(gather([o[1] for o in out]), ref_p, atol=1e-10)
+    assert np.allclose(gather([o[2] for o in out]), ref_hp, atol=1e-10)
+
+
+@pytest.mark.parametrize("p", [2, 4])
+def test_dist_restrict_vector_field(p, rng):
+    grid = Grid3D((16, 16, 16))
+    coarse = grid.coarsen(2)
+    v = rng.standard_normal((3,) + grid.shape)
+    ref = SpectralOps(grid).restrict(v, coarse)
+    parts = scatter(v, grid, p)
+
+    def prog(comm):
+        return DistSpectralOps(grid, comm).restrict(parts[comm.rank], coarse)
+
+    out = launch_spmd(prog, p)
+    assert np.allclose(gather(list(out), ndim=4), ref, atol=1e-10)
+
+
+# ----------------------------------------------------------------- dist FD
+
+@pytest.mark.parametrize("p", WORLDS)
+def test_dist_gradient(p, rng):
+    grid = Grid3D((16, 12, 8))
+    f = rng.standard_normal(grid.shape)
+    ref = gradient_fd8(f, grid.spacing)
+    parts = scatter(f, grid, p)
+
+    def prog(comm):
+        return dist_gradient_fd8(parts[comm.rank], comm, grid)
+
+    out = launch_spmd(prog, p)
+    assert np.allclose(gather(list(out), ndim=4), ref, atol=1e-12)
+
+
+@pytest.mark.parametrize("p", WORLDS)
+def test_dist_divergence(p, rng):
+    grid = Grid3D((16, 8, 8))
+    v = rng.standard_normal((3,) + grid.shape)
+    ref = divergence_fd8(v, grid.spacing)
+    parts = scatter(v, grid, p)
+
+    def prog(comm):
+        return dist_divergence_fd8(parts[comm.rank], comm, grid)
+
+    out = launch_spmd(prog, p)
+    assert np.allclose(gather(list(out)), ref, atol=1e-12)
+
+
+def test_dist_fd_comm_accounting(rng):
+    grid = Grid3D((16, 8, 8))
+    f = rng.standard_normal(grid.shape)
+    parts = scatter(f, grid, 4)
+
+    def prog(comm):
+        dist_gradient_fd8(parts[comm.rank], comm, grid)
+        return (comm.telemetry.comm_seconds.get("fd_comm", 0.0),
+                comm.telemetry.kernel_seconds.get("fd", 0.0))
+
+    out = launch_spmd(prog, 4)
+    for c, k in out.results:
+        assert c > 0 and k > 0
+
+
+# -------------------------------------------------------------- dist interp
+
+@pytest.mark.parametrize("p", WORLDS)
+@pytest.mark.parametrize("order", [1, 3])
+def test_dist_interp_matches_global(p, order, rng):
+    grid = Grid3D((16, 12, 10))
+    f = rng.standard_normal(grid.shape)
+    # queries near each grid point (displacement up to ~1.8 voxels)
+    dec = SlabDecomp(grid.shape[0], p)
+    disp = rng.uniform(-1.8, 1.8, size=(3, p * 40))
+    base = np.stack([rng.uniform(0, s, size=p * 40) for s in grid.shape])
+    q_global = base + disp
+    ref = interp3d(f, q_global, order=order)
+    parts = dec.scatter(f)
+    q_parts = np.array_split(q_global, p, axis=1)
+
+    def prog(comm):
+        di = DistInterpolator(comm, grid, order=order)
+        return di.interpolate(parts[comm.rank], q_parts[comm.rank], cfl=1.8)
+
+    out = launch_spmd(prog, p)
+    got = np.concatenate(list(out))
+    assert np.allclose(got, ref, atol=1e-12)
+
+
+@pytest.mark.parametrize("p", [2, 4])
+def test_dist_interp_multiple_fields(p, rng):
+    grid = Grid3D((16, 8, 8))
+    fields = [rng.standard_normal(grid.shape) for _ in range(3)]
+    q = np.stack([rng.uniform(0, s, size=50) for s in grid.shape])
+    refs = [interp3d(f, q, order=1) for f in fields]
+    dec = SlabDecomp(grid.shape[0], p)
+    parts = [dec.scatter(f) for f in fields]
+
+    def prog(comm):
+        di = DistInterpolator(comm, grid, order=1)
+        return di.interpolate([parts[i][comm.rank] for i in range(3)], q,
+                              cfl=0.5)
+
+    out = launch_spmd(prog, p)
+    for r in range(p):
+        for i in range(3):
+            assert np.allclose(out[r][i], refs[i], atol=1e-12)
+
+
+def test_dist_interp_phase_accounting(rng):
+    grid = Grid3D((16, 8, 8))
+    f = rng.standard_normal(grid.shape)
+    dec = SlabDecomp(grid.shape[0], 4)
+    parts = dec.scatter(f)
+    # queries spread over the whole domain: guaranteed remote points
+    q = np.stack([rng.uniform(0, s, size=200) for s in grid.shape])
+
+    def prog(comm):
+        di = DistInterpolator(comm, grid, order=3)
+        di.interpolate(parts[comm.rank], q, cfl=0.5)
+        t = comm.telemetry
+        return {k: t.comm_seconds.get(k, 0.0) for k in
+                ("ghost_comm", "scatter_comm", "interp_comm")} | \
+               {k: t.kernel_seconds.get(k, 0.0) for k in
+                ("interp_kernel", "scatter_mpi_buffer")}
+
+    out = launch_spmd(prog, 4)
+    for phases in out.results:
+        for name, val in phases.items():
+            assert val > 0.0, f"phase {name} not charged"
+
+
+def test_dist_interp_ghost_width_guard(rng):
+    grid = Grid3D((8, 8, 8))
+    dec = SlabDecomp(8, 4)
+    parts = dec.scatter(rng.standard_normal(grid.shape))
+    q = np.zeros((3, 4))
+
+    def prog(comm):
+        di = DistInterpolator(comm, grid, order=3)
+        return di.interpolate(parts[comm.rank], q, cfl=5.0)  # width 7 > 2
+
+    with pytest.raises(RuntimeError, match="ghost width"):
+        launch_spmd(prog, 4)
+
+
+def test_dist_interp_single_rank(rng):
+    grid = Grid3D((8, 8, 8))
+    f = rng.standard_normal(grid.shape)
+    q = np.stack([rng.uniform(0, 8, size=100) for _ in range(3)])
+
+    def prog(comm):
+        di = DistInterpolator(comm, grid, order=3)
+        vals = di.interpolate(f, q, cfl=1.0)
+        return vals, comm.telemetry.comm_total()
+
+    vals, comm_t = launch_spmd(prog, 1)[0]
+    assert np.allclose(vals, interp3d(f, q, order=3), atol=1e-14)
+    assert comm_t == 0.0

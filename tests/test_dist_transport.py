@@ -1,0 +1,133 @@
+"""Distributed semi-Lagrangian transport vs the single-device solver."""
+
+import numpy as np
+import pytest
+
+from repro.dist.dtransport import DistTransportSolver
+from repro.dist.launch import launch_spmd
+from repro.dist.slab import SlabDecomp
+from repro.grid.grid import Grid3D
+from repro.transport.solver import TransportSolver
+from tests.conftest import smooth_field, smooth_velocity
+
+WORLDS = [1, 2, 4]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    grid = Grid3D((16, 16, 16))
+    v = smooth_velocity(grid, amp=0.3)
+    m0 = 0.5 + 0.4 * smooth_field(grid)
+    ts = TransportSolver(grid, nt=4, interp_order=3)
+    ts.set_velocity(v)
+    m_traj = ts.solve_state(m0)
+    return grid, v, m0, ts, m_traj
+
+
+def _scatter(arr, grid, p):
+    return SlabDecomp(grid.shape[0], p).scatter(arr, axis=arr.ndim - 3)
+
+
+@pytest.mark.parametrize("p", WORLDS)
+def test_dist_state_solve(setup, p):
+    grid, v, m0, ts, m_traj = setup
+    v_parts = _scatter(v, grid, p)
+    m_parts = _scatter(m0, grid, p)
+
+    def prog(comm):
+        dts = DistTransportSolver(grid, comm, nt=4, interp_order=3)
+        dts.set_velocity(v_parts[comm.rank])
+        return dts.solve_state(m_parts[comm.rank], return_all=True)
+
+    out = launch_spmd(prog, p)
+    got = np.concatenate(list(out), axis=1)  # (nt+1, N1, N2, N3)
+    assert np.allclose(got, m_traj, atol=1e-10)
+
+
+@pytest.mark.parametrize("p", WORLDS)
+def test_dist_adjoint_body(setup, p):
+    grid, v, m0, ts, m_traj = setup
+    lam1 = smooth_field(grid, kind=1)
+    ref = ts.solve_adjoint(m_traj, lam1)
+    v_parts = _scatter(v, grid, p)
+    m_parts = _scatter(m0, grid, p)
+    l_parts = _scatter(lam1, grid, p)
+
+    def prog(comm):
+        dts = DistTransportSolver(grid, comm, nt=4, interp_order=3)
+        dts.set_velocity(v_parts[comm.rank])
+        traj = dts.solve_state(m_parts[comm.rank], return_all=True)
+        return dts.solve_adjoint(traj, l_parts[comm.rank])
+
+    out = launch_spmd(prog, p)
+    got = np.concatenate(list(out), axis=1)
+    assert np.allclose(got, ref, atol=1e-9)
+
+
+@pytest.mark.parametrize("p", WORLDS)
+def test_dist_hessian_body(setup, p):
+    grid, v, m0, ts, m_traj = setup
+    vt = smooth_velocity(grid, amp=0.15)[::-1]
+    ref = ts.hessian_body(vt, m_traj)
+    v_parts = _scatter(v, grid, p)
+    m_parts = _scatter(m0, grid, p)
+    vt_parts = _scatter(vt, grid, p)
+
+    def prog(comm):
+        dts = DistTransportSolver(grid, comm, nt=4, interp_order=3)
+        dts.set_velocity(v_parts[comm.rank])
+        traj = dts.solve_state(m_parts[comm.rank], return_all=True)
+        return dts.hessian_body(vt_parts[comm.rank], traj)
+
+    out = launch_spmd(prog, p)
+    got = np.concatenate(list(out), axis=1)
+    assert np.allclose(got, ref, atol=1e-9)
+
+
+def test_dist_store_state_grad(setup):
+    grid, v, m0, ts, m_traj = setup
+    vt = smooth_velocity(grid, amp=0.1)[::-1]
+    v_parts = _scatter(v, grid, 2)
+    m_parts = _scatter(m0, grid, 2)
+    vt_parts = _scatter(vt, grid, 2)
+
+    def prog(comm, store):
+        dts = DistTransportSolver(grid, comm, nt=4, interp_order=3,
+                                  store_state_grad=store)
+        dts.set_velocity(v_parts[comm.rank])
+        traj = dts.solve_state(m_parts[comm.rank], return_all=True)
+        return dts.hessian_body(vt_parts[comm.rank], traj)
+
+    a = launch_spmd(prog, 2, args=(False,))
+    b = launch_spmd(prog, 2, args=(True,))
+    assert np.allclose(np.concatenate(list(a), axis=1),
+                       np.concatenate(list(b), axis=1), atol=1e-12)
+
+
+def test_dist_cfl_is_global(setup):
+    """A rank with locally zero velocity must still use the global CFL."""
+    grid, v, m0, ts, m_traj = setup
+    v_mod = v.copy()
+    dec = SlabDecomp(grid.shape[0], 4)
+    v_mod[:, dec.slice_of(0), :, :] = 0.0  # rank 0 sees zero velocity
+    v_parts = dec.scatter(v_mod, axis=1)
+
+    def prog(comm):
+        dts = DistTransportSolver(grid, comm, nt=4, interp_order=3)
+        dts.set_velocity(v_parts[comm.rank])
+        return dts.traj.cfl
+
+    out = launch_spmd(prog, 4)
+    assert len({round(c, 12) for c in out.results}) == 1
+    assert out[0] > 0.0
+
+
+def test_dist_velocity_shape_guard(setup):
+    grid, v, m0, ts, m_traj = setup
+
+    def prog(comm):
+        dts = DistTransportSolver(grid, comm, nt=4)
+        dts.set_velocity(np.zeros((3, 5, 5, 5)))
+
+    with pytest.raises(RuntimeError, match="failed"):
+        launch_spmd(prog, 2)

@@ -1,0 +1,106 @@
+"""Unit tests for the 8th-order finite-difference kernels (repro.grid.fd)."""
+
+import numpy as np
+import pytest
+
+from repro.grid.fd import (
+    FD8_STENCIL,
+    GHOST_WIDTH,
+    d1_fd8_ghost_axis0,
+    d1_fd8_periodic,
+    divergence_fd8,
+    gradient_fd8,
+    pad_periodic_axis0,
+)
+from repro.grid.grid import Grid3D
+from tests.conftest import smooth_field
+
+
+def test_stencil_consistency():
+    """Stencil must differentiate exactly: sum 2*k*c_k = 1 (and odd symmetry)."""
+    k = np.arange(1, 5)
+    assert np.sum(2 * k * FD8_STENCIL) == pytest.approx(1.0, rel=1e-12)
+    # third-moment cancellation (>= 4th order): sum 2*k^3*c_k = 0
+    assert np.sum(2 * k**3 * FD8_STENCIL) == pytest.approx(0.0, abs=1e-12)
+    # fifth and seventh moments cancel too (8th order)
+    assert np.sum(2 * k**5 * FD8_STENCIL) == pytest.approx(0.0, abs=1e-11)
+    assert np.sum(2 * k**7 * FD8_STENCIL) == pytest.approx(0.0, abs=1e-10)
+
+
+@pytest.mark.parametrize("axis", [0, 1, 2])
+def test_d1_sine(axis):
+    g = Grid3D((32, 32, 32))
+    x = g.coords()
+    f = np.sin(2 * x[axis]) * np.ones(g.shape)
+    d = d1_fd8_periodic(f, axis, g.spacing[axis])
+    ref = 2 * np.cos(2 * x[axis]) * np.ones(g.shape)
+    assert np.max(np.abs(d - ref)) < 5e-6
+
+
+def test_convergence_order():
+    """Error should fall ~2^8 when resolution doubles."""
+    errs = []
+    for n in (16, 32):
+        g = Grid3D((n, 8, 8))
+        x1 = g.coords()[0]
+        f = np.sin(3 * x1) * np.ones(g.shape)
+        d = d1_fd8_periodic(f, 0, g.spacing[0])
+        errs.append(np.max(np.abs(d - 3 * np.cos(3 * x1) * np.ones(g.shape))))
+    rate = np.log2(errs[0] / errs[1])
+    assert rate > 7.0
+
+
+def test_gradient_divergence_consistency(rng):
+    g = Grid3D((16, 16, 16))
+    f = smooth_field(g)
+    grad = gradient_fd8(f, g.spacing)
+    assert grad.shape == (3,) + g.shape
+    v = np.stack([f, 2 * f, -f])
+    div = divergence_fd8(v, g.spacing)
+    ref = grad[0] + 2 * grad[1] - grad[2]
+    assert np.allclose(div, ref, atol=1e-12)
+
+
+def test_fd_matches_spectral_on_smooth_field():
+    from repro.grid.spectral import SpectralOps
+
+    g = Grid3D((32, 32, 32))
+    f = smooth_field(g)
+    fd = gradient_fd8(f, g.spacing)
+    sp = SpectralOps(g).gradient(f)
+    assert np.max(np.abs(fd - sp)) < 1e-5
+
+
+def test_ghost_kernel_equals_periodic(rng):
+    g = Grid3D((20, 12, 12))
+    f = rng.standard_normal(g.shape)
+    ref = d1_fd8_periodic(f, 0, g.spacing[0])
+    padded = pad_periodic_axis0(f)
+    assert padded.shape[0] == 20 + 2 * GHOST_WIDTH
+    out = d1_fd8_ghost_axis0(padded, g.spacing[0])
+    assert np.allclose(out, ref, atol=1e-13)
+
+
+def test_ghost_kernel_on_slab(rng):
+    """Differentiating a slab with true neighbour data must equal the global
+    periodic derivative restricted to the slab (the distributed-FD contract)."""
+    g = Grid3D((24, 8, 8))
+    f = rng.standard_normal(g.shape)
+    ref = d1_fd8_periodic(f, 0, g.spacing[0])
+    lo, hi = 6, 18  # slab [6, 18)
+    gwin = np.concatenate([f[lo - GHOST_WIDTH:lo], f[lo:hi], f[hi:hi + GHOST_WIDTH]],
+                          axis=0)
+    out = d1_fd8_ghost_axis0(gwin, g.spacing[0])
+    assert np.allclose(out, ref[lo:hi], atol=1e-13)
+
+
+def test_ghost_kernel_rejects_tiny_input():
+    with pytest.raises(ValueError):
+        d1_fd8_ghost_axis0(np.zeros((2 * GHOST_WIDTH, 4, 4)), 0.1)
+
+
+def test_dtype_preserved(rng):
+    g = Grid3D((16, 8, 8))
+    f = rng.standard_normal(g.shape).astype(np.float32)
+    assert d1_fd8_periodic(f, 0, g.spacing[0]).dtype == np.float32
+    assert gradient_fd8(f, g.spacing).dtype == np.float32

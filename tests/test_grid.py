@@ -1,0 +1,83 @@
+"""Unit tests for repro.grid.grid.Grid3D."""
+
+import numpy as np
+import pytest
+
+from repro.grid.grid import TWO_PI, Grid3D
+
+
+def test_shape_normalization():
+    g = Grid3D((np.int64(8), 8, 8))
+    assert g.shape == (8, 8, 8)
+    assert all(isinstance(n, int) for n in g.shape)
+
+
+def test_invalid_shapes():
+    with pytest.raises(ValueError):
+        Grid3D((8, 8))
+    with pytest.raises(ValueError):
+        Grid3D((8, 1, 8))
+
+
+def test_n_and_spacing(grid_aniso):
+    assert grid_aniso.n == 12 * 16 * 20
+    h = grid_aniso.spacing
+    assert h[0] == pytest.approx(TWO_PI / 12)
+    assert h[2] == pytest.approx(TWO_PI / 20)
+    assert grid_aniso.cell_volume == pytest.approx(h[0] * h[1] * h[2])
+
+
+def test_axis_coords_cover_domain(grid16):
+    x = grid16.axis_coords(0)
+    assert x[0] == 0.0
+    assert x[-1] == pytest.approx(TWO_PI - grid16.spacing[0])
+
+
+def test_mesh_shape_and_values(grid_aniso):
+    m = grid_aniso.mesh()
+    assert m.shape == (3,) + grid_aniso.shape
+    assert m[0][3, 0, 0] == pytest.approx(3 * grid_aniso.spacing[0])
+    assert m[2][0, 0, 7] == pytest.approx(7 * grid_aniso.spacing[2])
+
+
+def test_wavenumbers_layout(grid_aniso):
+    k1, k2, k3 = grid_aniso.wavenumbers
+    assert k1.shape == (12, 1, 1)
+    assert k2.shape == (1, 16, 1)
+    assert k3.shape == (1, 1, 11)
+    # integer frequencies
+    assert k1.ravel()[1] == 1.0
+    assert k1.ravel()[-1] == -1.0
+    assert k3.ravel()[-1] == 10.0
+    assert grid_aniso.spectral_shape == (12, 16, 11)
+
+
+def test_integrate_sin_squared(grid24):
+    """int sin^2(x1) dx over [0,2pi)^3 = pi * (2pi)^2 (trapezoid exact)."""
+    x1, _, _ = grid24.coords()
+    f = np.sin(x1) ** 2 * np.ones(grid24.shape)
+    assert grid24.integrate(f) == pytest.approx(np.pi * TWO_PI**2, rel=1e-12)
+
+
+def test_inner_and_norm(grid16, rng):
+    a = rng.standard_normal(grid16.shape)
+    b = rng.standard_normal(grid16.shape)
+    assert grid16.inner(a, b) == pytest.approx(grid16.inner(b, a))
+    assert grid16.norm(a) == pytest.approx(np.sqrt(grid16.inner(a, a)))
+
+
+def test_inner_vector_fields(grid16, rng):
+    a = rng.standard_normal((3,) + grid16.shape)
+    assert grid16.inner(a, a) >= 0
+
+
+def test_coarsen(grid16):
+    c = grid16.coarsen(2)
+    assert c.shape == (8, 8, 8)
+    with pytest.raises(ValueError):
+        Grid3D((10, 16, 16)).coarsen(4)
+
+
+def test_zeros_helpers(grid16):
+    assert grid16.zeros(np.float32).dtype == np.float32
+    assert grid16.zeros_vector().shape == (3,) + grid16.shape

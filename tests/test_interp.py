@@ -1,0 +1,136 @@
+"""Unit tests for scattered interpolation (repro.grid.interp)."""
+
+import numpy as np
+import pytest
+
+from repro.grid.grid import Grid3D
+from repro.grid.interp import interp3d, interp3d_vector, phys_to_grid
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def grid():
+    return Grid3D((16, 16, 16))
+
+
+def grid_point_queries(shape, rng, n=200):
+    q = np.stack([rng.integers(0, s, size=n).astype(float) for s in shape])
+    return q
+
+
+@pytest.mark.parametrize("order", [1, 3])
+def test_exact_at_grid_points(grid, rng, order):
+    f = rng.standard_normal(grid.shape)
+    q = grid_point_queries(grid.shape, rng)
+    vals = interp3d(f, q, order=order)
+    idx = q.astype(int)
+    assert np.allclose(vals, f[idx[0], idx[1], idx[2]], atol=1e-12)
+
+
+def test_linear_exact_on_trilinear_function(rng):
+    """Trilinear interpolation reproduces functions linear per axis within a cell."""
+    g = Grid3D((8, 8, 8))
+    i, j, k = np.meshgrid(*[np.arange(8)] * 3, indexing="ij")
+    f = (2.0 * i + 3.0 * j - k).astype(float)
+    q = rng.uniform(0, 6.9, size=(3, 500))  # interior: avoid wrap
+    vals = interp3d(f, q, order=1)
+    ref = 2.0 * q[0] + 3.0 * q[1] - q[2]
+    assert np.allclose(vals, ref, atol=1e-10)
+
+
+def test_cubic_exact_on_cubic_polynomial(rng):
+    g = Grid3D((12, 12, 12))
+    i, j, k = np.meshgrid(*[np.arange(12.0)] * 3, indexing="ij")
+    f = 0.1 * i**3 - 0.2 * j**2 * k + j - 2.0
+    q = rng.uniform(1.1, 9.9, size=(3, 400))  # keep 4-point stencil off the wrap
+    vals = interp3d(f, q, order=3)
+    ref = 0.1 * q[0]**3 - 0.2 * q[1]**2 * q[2] + q[1] - 2.0
+    assert np.allclose(vals, ref, atol=1e-9)
+
+
+@pytest.mark.parametrize("order", [1, 3])
+def test_periodic_wrap(grid, rng, order):
+    f = smooth_field(grid)
+    q = rng.uniform(0, 16, size=(3, 300))
+    v1 = interp3d(f, q, order=order)
+    v2 = interp3d(f, q + np.array([16.0, 32.0, -16.0])[:, None], order=order)
+    assert np.allclose(v1, v2, atol=1e-10)
+
+
+def test_cubic_beats_linear_on_smooth_field(grid, rng):
+    f = smooth_field(grid)
+    x1, x2, x3 = grid.coords()
+    q = rng.uniform(0, 16, size=(3, 2000))
+    h = grid.spacing
+    ref = (np.sin(q[0] * h[0]) * np.cos(2 * q[1] * h[1]) + 0.5 * np.sin(q[2] * h[2]))
+    err1 = np.max(np.abs(interp3d(f, q, order=1) - ref))
+    err3 = np.max(np.abs(interp3d(f, q, order=3) - ref))
+    assert err3 < err1 / 5
+
+
+def test_convergence_rates():
+    """Linear ~ h^2, cubic ~ h^4 on a smooth function."""
+    rng = np.random.default_rng(7)
+    errs = {1: [], 3: []}
+    for n in (16, 32):
+        g = Grid3D((n, n, n))
+        x1, x2, x3 = g.coords()
+        f = (np.sin(x1) * np.cos(x2) + np.sin(2 * x3)) * np.ones(g.shape)
+        q_phys = rng.uniform(0, 2 * np.pi, size=(3, 3000))
+        q = phys_to_grid(q_phys, g.spacing)
+        ref = np.sin(q_phys[0]) * np.cos(q_phys[1]) + np.sin(2 * q_phys[2])
+        for order in (1, 3):
+            errs[order].append(np.max(np.abs(interp3d(f, q, order=order) - ref)))
+    assert np.log2(errs[1][0] / errs[1][1]) > 1.6
+    assert np.log2(errs[3][0] / errs[3][1]) > 3.4
+
+
+def test_no_wrap_frame(rng):
+    """With wrap disabled, queries against a padded array must match the
+    periodic result (the distributed interpolation contract)."""
+    g = Grid3D((16, 8, 8))
+    f = rng.standard_normal(g.shape)
+    pad = 4
+    fpad = np.concatenate([f[-pad:], f, f[:pad]], axis=0)
+    q = rng.uniform(0, 16, size=(3, 500))
+    ref = interp3d(f, q, order=3, wrap=(True, True, True))
+    q_local = q.copy()
+    q_local[0] += pad  # shift into the padded frame
+    out = interp3d(fpad, q_local, order=3, wrap=(False, True, True))
+    assert np.allclose(out, ref, atol=1e-12)
+
+
+def test_vector_interp(grid, rng):
+    v = rng.standard_normal((3,) + grid.shape)
+    q = rng.uniform(0, 16, size=(3, 100))
+    out = interp3d_vector(v, q, order=1)
+    assert out.shape == (3, 100)
+    for c in range(3):
+        assert np.allclose(out[c], interp3d(v[c], q, order=1), atol=1e-14)
+
+
+def test_query_shape_preserved(grid, rng):
+    f = rng.standard_normal(grid.shape)
+    q = rng.uniform(0, 16, size=(3, 4, 5, 6))
+    out = interp3d(f, q, order=1)
+    assert out.shape == (4, 5, 6)
+
+
+def test_invalid_order(grid, rng):
+    f = rng.standard_normal(grid.shape)
+    with pytest.raises(ValueError):
+        interp3d(f, np.zeros((3, 1)), order=2)
+
+
+def test_dtype_float32(grid, rng):
+    f = rng.standard_normal(grid.shape).astype(np.float32)
+    q = rng.uniform(0, 16, size=(3, 50))
+    assert interp3d(f, q, order=3).dtype == np.float32
+
+
+def test_negative_coordinates_wrap(grid, rng):
+    f = smooth_field(grid)
+    q = rng.uniform(0, 16, size=(3, 100))
+    v1 = interp3d(f, q, order=3)
+    v2 = interp3d(f, q - 32.0, order=3)
+    assert np.allclose(v1, v2, atol=1e-10)

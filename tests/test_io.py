@@ -1,0 +1,66 @@
+"""Tests for volume I/O and spectral resampling."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_volume, resample_volume, save_volume
+from repro.grid.grid import Grid3D
+from tests.conftest import smooth_field
+
+
+def test_save_load_roundtrip(tmp_path, rng):
+    vol = rng.standard_normal((8, 8, 8)).astype(np.float32)
+    path = str(tmp_path / "vol.npz")
+    save_volume(path, vol, subject=7, spacing=[0.1, 0.1, 0.2])
+    back, meta = load_volume(path)
+    assert np.array_equal(back, vol)
+    assert back.dtype == np.float32
+    assert int(meta["subject"]) == 7
+    assert np.allclose(meta["spacing"], [0.1, 0.1, 0.2])
+
+
+def test_save_vector_volume(tmp_path, rng):
+    v = rng.standard_normal((3, 8, 8, 8))
+    path = str(tmp_path / "vel.npz")
+    save_volume(path, v)
+    back, _ = load_volume(path)
+    assert np.array_equal(back, v)
+
+
+def test_save_rejects_bad_shapes(tmp_path):
+    with pytest.raises(ValueError):
+        save_volume(str(tmp_path / "x.npz"), np.zeros((4, 4)))
+
+
+def test_load_rejects_foreign_npz(tmp_path):
+    path = str(tmp_path / "foreign.npz")
+    np.savez(path, other=np.zeros(3))
+    with pytest.raises(ValueError):
+        load_volume(path)
+
+
+def test_resample_upsample_preserves_bandlimited():
+    grid = Grid3D((16, 16, 16))
+    f = smooth_field(grid)  # modes <= 2: band-limited
+    up = resample_volume(f, (32, 32, 32))
+    assert up.shape == (32, 32, 32)
+    # down again recovers the original exactly
+    down = resample_volume(up, (16, 16, 16))
+    assert np.allclose(down, f, atol=1e-10)
+
+
+def test_resample_downsample_shape(rng):
+    f = rng.standard_normal((16, 16, 16))
+    down = resample_volume(f, (8, 8, 8))
+    assert down.shape == (8, 8, 8)
+
+
+def test_resample_rejects_mixed():
+    with pytest.raises(ValueError):
+        resample_volume(np.zeros((16, 16, 16)), (8, 32, 16))
+
+
+def test_resample_vector_field(rng):
+    v = rng.standard_normal((3, 16, 16, 16))
+    up = resample_volume(v, (32, 32, 32))
+    assert up.shape == (3, 32, 32, 32)

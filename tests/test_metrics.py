@@ -1,0 +1,93 @@
+"""Tests for registration metrics: mismatch, deformation maps, Jacobians."""
+
+import numpy as np
+import pytest
+
+from repro.data.deform import random_velocity, synthesize_reference
+from repro.grid.grid import Grid3D
+from repro.grid.interp import interp3d, phys_to_grid
+from repro.metrics.jacobian import (
+    deformation_displacement,
+    deformation_map,
+    jacobian_determinant,
+)
+from repro.metrics.mismatch import relative_mismatch, residual_image
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def grid():
+    return Grid3D((20, 20, 20))
+
+
+def test_relative_mismatch_bounds(grid, rng):
+    m0 = rng.standard_normal(grid.shape)
+    m1 = rng.standard_normal(grid.shape)
+    assert relative_mismatch(m0, m1, m0) == pytest.approx(1.0)
+    assert relative_mismatch(m1, m1, m0) == pytest.approx(0.0)
+    assert relative_mismatch(m1, m1, m1) == 0.0  # degenerate: m0 == m1
+
+
+def test_residual_image(grid, rng):
+    a = rng.standard_normal(grid.shape)
+    b = rng.standard_normal(grid.shape)
+    r = residual_image(a, b)
+    assert np.all(r >= 0)
+    assert np.allclose(r, np.abs(a - b))
+
+
+def test_zero_velocity_deformation(grid):
+    u = deformation_displacement(np.zeros((3,) + grid.shape), grid, nt=4)
+    assert np.max(np.abs(u)) < 1e-14
+    det = jacobian_determinant(u, grid)
+    assert np.allclose(det, 1.0, atol=1e-12)
+
+
+def test_constant_velocity_displacement(grid):
+    """For constant v the backward displacement is exactly -v * 1."""
+    v = np.zeros((3,) + grid.shape)
+    v[0] = 0.4
+    u = deformation_displacement(v, grid, nt=4)
+    assert np.allclose(u[0], -0.4, atol=1e-12)
+    assert np.allclose(u[1], 0.0, atol=1e-12)
+    det = jacobian_determinant(u, grid)
+    assert np.allclose(det, 1.0, atol=1e-10)  # rigid translation
+
+
+def test_deformation_map_wrap(grid):
+    v = np.zeros((3,) + grid.shape)
+    v[0] = 0.4
+    y = deformation_map(v, grid, nt=4, wrap=True)
+    assert y.min() >= 0.0 and y.max() < 2 * np.pi + 1e-12
+
+
+def test_map_reproduces_transport(grid):
+    """m(x,1) computed by the transport solver must equal m0(y(x)) with the
+    reconstructed deformation map (the defining property)."""
+    v = random_velocity(grid, seed=5, amplitude=0.3, max_mode=2)
+    m0 = 0.5 + 0.4 * smooth_field(grid)
+    m1 = synthesize_reference(m0, v, nt=4)
+    y = deformation_map(v, grid, nt=4)
+    q = phys_to_grid(y, grid.spacing)
+    m_via_map = interp3d(m0, q, order=3)
+    err = np.max(np.abs(m_via_map - m1))
+    assert err < 5e-3
+
+
+def test_jacobian_positive_for_small_velocity(grid):
+    v = random_velocity(grid, seed=6, amplitude=0.3, max_mode=2)
+    u = deformation_displacement(v, grid, nt=4)
+    det = jacobian_determinant(u, grid)
+    assert det.min() > 0.0
+    # volume is roughly conserved on average for near-divergence-free flows
+    assert det.mean() == pytest.approx(1.0, abs=0.15)
+
+
+def test_jacobian_detects_large_compression(grid):
+    """A strongly converging synthetic displacement produces det < 1."""
+    x1, _, _ = grid.coords()
+    u = np.zeros((3,) + grid.shape)
+    u[0] = -0.45 * np.sin(x1) * np.ones(grid.shape)  # compression near pi/2
+    det = jacobian_determinant(u, grid)
+    assert det.min() < 0.7
+    assert det.max() > 1.2

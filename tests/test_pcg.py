@@ -1,0 +1,101 @@
+"""Tests for the matrix-free PCG solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.pcg import pcg
+
+
+def make_spd(n, rng, cond=50.0):
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eig = np.linspace(1.0, cond, n)
+    return q @ np.diag(eig) @ q.T, eig
+
+
+def test_solves_spd_system(rng):
+    a, _ = make_spd(40, rng)
+    x_true = rng.standard_normal(40)
+    b = a @ x_true
+    res = pcg(lambda x: a @ x, b, rtol=1e-10, maxiter=200)
+    assert res.converged
+    assert np.allclose(res.x, x_true, atol=1e-6)
+
+
+def test_exact_convergence_in_n_iterations(rng):
+    n = 12
+    a, _ = make_spd(n, rng)
+    b = rng.standard_normal(n)
+    res = pcg(lambda x: a @ x, b, rtol=1e-12, maxiter=n + 2)
+    assert res.converged
+    assert res.iters <= n + 1
+
+
+def test_preconditioner_reduces_iterations(rng):
+    n = 80
+    a, eig = make_spd(n, rng, cond=5e3)
+    b = rng.standard_normal(n)
+    plain = pcg(lambda x: a @ x, b, rtol=1e-8, maxiter=500)
+    a_inv = np.linalg.inv(a)
+    pre = pcg(lambda x: a @ x, b, rtol=1e-8, maxiter=500,
+              precond=lambda r: a_inv @ r)
+    assert pre.converged
+    assert pre.iters < plain.iters / 3
+
+
+def test_initial_guess(rng):
+    a, _ = make_spd(30, rng)
+    x_true = rng.standard_normal(30)
+    b = a @ x_true
+    # exact initial guess: zero initial residual, immediate convergence
+    res = pcg(lambda x: a @ x, b, rtol=1e-10, maxiter=100, x0=x_true.copy())
+    assert res.converged
+    assert res.iters == 0
+    # a generic initial guess must still converge to the right solution
+    res2 = pcg(lambda x: a @ x, b, rtol=1e-10, maxiter=200,
+               x0=rng.standard_normal(30))
+    assert res2.converged
+    assert np.allclose(res2.x, x_true, atol=1e-6)
+
+
+def test_zero_rhs(rng):
+    a, _ = make_spd(10, rng)
+    res = pcg(lambda x: a @ x, np.zeros(10), rtol=1e-8, maxiter=10)
+    assert res.converged
+    assert res.iters == 0
+    assert np.all(res.x == 0)
+
+
+def test_history_monotone_start(rng):
+    a, _ = make_spd(50, rng)
+    b = rng.standard_normal(50)
+    res = pcg(lambda x: a @ x, b, rtol=1e-10, maxiter=200)
+    assert res.history[0] == 1.0
+    assert res.history[-1] <= 1e-10
+    assert len(res.history) == res.iters + 1
+    assert len(res.residual_history) == len(res.history)
+
+
+def test_maxiter_respected(rng):
+    a, _ = make_spd(60, rng, cond=1e5)
+    b = rng.standard_normal(60)
+    res = pcg(lambda x: a @ x, b, rtol=1e-14, maxiter=5)
+    assert not res.converged
+    assert res.iters == 5
+
+
+def test_works_on_multidim_arrays(rng):
+    """The solver must accept field-shaped unknowns (3, n1, n2, n3)."""
+    shape = (3, 4, 4, 4)
+    diag = 1.0 + rng.random(shape)
+    b = rng.standard_normal(shape)
+    res = pcg(lambda x: diag * x, b, rtol=1e-12, maxiter=500)
+    assert res.converged
+    assert np.allclose(res.x, b / diag, atol=1e-8)
+
+
+def test_semidefinite_guard(rng):
+    """A direction of zero curvature must not produce NaNs."""
+    d = np.array([1.0, 1.0, 0.0])
+    b = np.array([1.0, 2.0, 0.0])
+    res = pcg(lambda x: d * x, b, rtol=1e-12, maxiter=10)
+    assert np.all(np.isfinite(res.x))

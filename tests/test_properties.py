@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These sweep randomized shapes, seeds and parameters over the structural
+invariants that the registration solver depends on: spectral identities,
+interpolation bounds, transport stability, slab-decomposition algebra and
+performance-model monotonicity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dist.perfmodel import PerfModel
+from repro.dist.slab import SlabDecomp
+from repro.dist.topology import ClusterSpec
+from repro.grid.fd import d1_fd8_periodic
+from repro.grid.grid import Grid3D
+from repro.grid.interp import interp3d
+from repro.grid.spectral import SpectralOps
+from repro.transport.solver import TransportSolver
+
+EVEN = st.sampled_from([8, 12, 16, 20])
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n1=EVEN, n2=EVEN, n3=EVEN, seed=SEEDS)
+def test_fft_roundtrip_any_shape(n1, n2, n3, seed):
+    grid = Grid3D((n1, n2, n3))
+    ops = SpectralOps(grid)
+    f = np.random.default_rng(seed).standard_normal(grid.shape)
+    assert np.allclose(ops.inv(ops.fwd(f)), f, atol=1e-10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=SEEDS, beta=st.floats(min_value=1e-4, max_value=10.0))
+def test_reg_operator_spd(seed, beta):
+    """<beta*A v, v> >= 0 and symmetric for any field and any beta."""
+    grid = Grid3D((12, 12, 12))
+    ops = SpectralOps(grid)
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal((3,) + grid.shape)
+    w = rng.standard_normal((3,) + grid.shape)
+    av = ops.apply_reg(v, beta)
+    aw = ops.apply_reg(w, beta)
+    assert grid.inner(av, v) >= -1e-10
+    assert grid.inner(av, w) == pytest.approx(grid.inner(v, aw), rel=1e-8,
+                                              abs=1e-8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=SEEDS)
+def test_leray_is_orthogonal_projection(seed):
+    grid = Grid3D((12, 12, 12))
+    ops = SpectralOps(grid)
+    v = np.random.default_rng(seed).standard_normal((3,) + grid.shape)
+    w = ops.leray(v)
+    assert np.max(np.abs(ops.divergence(w))) < 1e-8
+    assert grid.inner(v - w, w) == pytest.approx(0.0, abs=1e-7)
+    assert grid.norm(w) <= grid.norm(v) + 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=SEEDS, order=st.sampled_from([1, 3]))
+def test_interp_bounded_by_field_range(seed, order):
+    """Linear interpolation obeys the max principle; cubic overshoot is
+    bounded by the Lagrange-basis constant (~1.25x the range)."""
+    grid = Grid3D((10, 10, 10))
+    rng = np.random.default_rng(seed)
+    f = rng.uniform(-1.0, 1.0, grid.shape)
+    q = rng.uniform(-20, 20, size=(3, 300))
+    vals = interp3d(f, q, order=order)
+    bound = 1.0 + 1e-12 if order == 1 else 2.0
+    assert np.max(np.abs(vals)) <= bound
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=SEEDS, k=st.integers(min_value=1, max_value=3))
+def test_fd_kills_constants_and_differentiates_modes(seed, k):
+    grid = Grid3D((24, 8, 8))
+    const = np.full(grid.shape, 3.7)
+    assert np.max(np.abs(d1_fd8_periodic(const, 0, grid.spacing[0]))) < 1e-12
+    x1 = grid.coords()[0]
+    f = np.sin(k * x1) * np.ones(grid.shape)
+    d = d1_fd8_periodic(f, 0, grid.spacing[0])
+    assert np.allclose(d, k * np.cos(k * x1) * np.ones(grid.shape),
+                       atol=5e-4 * k**9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=SEEDS, nt=st.sampled_from([1, 2, 4]))
+def test_transport_preserves_constants(seed, nt):
+    """Advection of a constant field is exact for any velocity."""
+    grid = Grid3D((12, 12, 12))
+    rng = np.random.default_rng(seed)
+    v = rng.uniform(-0.5, 0.5, (3,) + grid.shape)
+    # smooth the velocity to keep CFL reasonable
+    ops = SpectralOps(grid)
+    v = ops.lowpass(v, grid.coarsen(2))
+    ts = TransportSolver(grid, nt=nt, interp_order=1)
+    ts.set_velocity(v)
+    m = ts.solve_state(np.full(grid.shape, 0.75), return_all=False)
+    assert np.allclose(m, 0.75, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=1, max_value=200),
+       p=st.integers(min_value=1, max_value=200))
+def test_slab_partition_properties(n, p):
+    if p > n:
+        with pytest.raises(ValueError):
+            SlabDecomp(n, p)
+        return
+    d = SlabDecomp(n, p)
+    counts = d.counts()
+    assert sum(counts) == n
+    assert max(counts) - min(counts) <= 1
+    # owners consistent with extents
+    idx = np.arange(n)
+    owners = d.owners(idx)
+    for r in range(p):
+        mine = idx[owners == r]
+        assert len(mine) == counts[r]
+        if len(mine):
+            assert mine[0] == d.start(r)
+            assert mine[-1] == d.stop(r) - 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(nbytes=st.floats(min_value=1.0, max_value=1e9),
+       world=st.sampled_from([4, 8, 16, 32, 64]))
+def test_perfmodel_monotone_in_bytes(nbytes, world):
+    pm = PerfModel(ClusterSpec.for_world(world))
+    t1 = pm.alltoall_time(nbytes, world, "p2p")
+    t2 = pm.alltoall_time(2 * nbytes, world, "p2p")
+    assert t2 >= t1 > 0
+    m1 = pm.alltoall_time(nbytes, world, "mpi")
+    m2 = pm.alltoall_time(2 * nbytes, world, "mpi")
+    assert m2 >= m1 > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_points=st.integers(min_value=1, max_value=10**9))
+def test_perfmodel_kernel_times_positive_linear(n_points):
+    pm = PerfModel(ClusterSpec(nodes=1, gpus_per_node=1))
+    assert pm.fd_gradient_time(n_points) > 0
+    assert pm.interp_time(n_points, 3) > pm.interp_time(n_points, 1)
+    assert pm.fft_pair_time(2 * n_points, 2 * n_points) > \
+        pm.fft_pair_time(n_points, n_points)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=SEEDS)
+def test_restrict_reduces_energy(seed):
+    """Spectral restriction is an orthogonal truncation: it cannot
+    increase the L2 norm (Parseval)."""
+    grid = Grid3D((16, 16, 16))
+    coarse = grid.coarsen(2)
+    ops = SpectralOps(grid)
+    f = np.random.default_rng(seed).standard_normal(grid.shape)
+    fc = ops.restrict(f, coarse)
+    assert coarse.norm(fc) <= grid.norm(f) + 1e-10

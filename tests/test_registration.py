@@ -1,0 +1,135 @@
+"""End-to-end registration tests (the public API)."""
+
+import numpy as np
+import pytest
+
+from repro import RegistrationConfig, register
+from repro.core.continuation import beta_schedule
+from repro.data.brain import brain_pair
+from repro.data.synthetic import syn_problem
+from repro.grid.grid import Grid3D
+from repro.metrics.jacobian import deformation_displacement, jacobian_determinant
+
+
+@pytest.fixture(scope="module")
+def syn24():
+    grid = Grid3D((24, 24, 24))
+    m0, m1, v_true = syn_problem(grid, amplitude=0.35, nt=4)
+    return grid, m0, m1, v_true
+
+
+def test_register_syn_reduces_mismatch(syn24):
+    grid, m0, m1, _ = syn24
+    cfg = RegistrationConfig(beta=1e-3, nt=4, interp_order=1,
+                             preconditioner="2LinvH0")
+    res = register(m0, m1, cfg)
+    assert res.mismatch < 0.25
+    assert res.grad_rel < 0.25
+    assert res.counters.gn_iters >= 1
+    assert res.counters.pcg_iters >= 1
+    assert res.runtimes["Total"] > 0.0
+
+
+def test_registration_produces_diffeomorphism(syn24):
+    grid, m0, m1, _ = syn24
+    cfg = RegistrationConfig(beta=1e-2, nt=4, interp_order=1)
+    res = register(m0, m1, cfg)
+    u = deformation_displacement(res.velocity, grid, nt=4)
+    det = jacobian_determinant(u, grid)
+    assert det.min() > 0.0  # orientation-preserving everywhere
+
+
+def test_register_is_deterministic(syn24):
+    grid, m0, m1, _ = syn24
+    cfg = RegistrationConfig(beta=1e-2, nt=4, interp_order=1,
+                             tol=None) if False else RegistrationConfig(
+        beta=1e-2, nt=4, interp_order=1)
+    r1 = register(m0, m1, cfg)
+    r2 = register(m0, m1, cfg)
+    assert np.array_equal(r1.velocity, r2.velocity)
+    assert r1.mismatch == r2.mismatch
+
+
+def test_register_brain_pair():
+    m0, m1 = brain_pair((24, 24, 24))
+    cfg = RegistrationConfig(beta=1e-3, nt=4, interp_order=1,
+                             preconditioner="invH0")
+    res = register(m0, m1, cfg)
+    assert res.mismatch < 0.6
+    assert res.mismatch_history[0] == pytest.approx(1.0, rel=1e-6)
+    assert res.mismatch_history[-1] < res.mismatch_history[0]
+
+
+def test_register_float32(syn24):
+    grid, m0, m1, _ = syn24
+    cfg = RegistrationConfig(beta=1e-2, nt=4, dtype="float32")
+    res = register(m0.astype(np.float32), m1.astype(np.float32), cfg)
+    assert res.velocity.dtype == np.float32
+    assert res.mismatch < 0.6
+
+
+def test_register_shape_mismatch():
+    with pytest.raises(ValueError):
+        register(np.zeros((8, 8, 8)), np.zeros((8, 8, 4)))
+
+
+def test_warm_start(syn24):
+    grid, m0, m1, v_true = syn24
+    cfg = RegistrationConfig(beta=1e-3, nt=4, interp_order=1)
+    res = register(m0, m1, cfg, v0=v_true)
+    # warm start at the truth: very few iterations needed
+    assert res.counters.gn_iters <= 4
+
+
+# ------------------------------------------------------------- continuation
+
+def test_beta_schedule():
+    s = beta_schedule(1.0, 1e-3, 0.1)
+    assert s[0] == 1.0
+    assert s[-1] == 1e-3
+    assert all(a > b for a, b in zip(s, s[1:]))
+    with pytest.raises(ValueError):
+        beta_schedule(1e-3, 1.0, 0.1)
+    with pytest.raises(ValueError):
+        beta_schedule(1.0, 0.1, 1.5)
+
+
+def test_continuation_switches_preconditioner(syn24):
+    grid, m0, m1, _ = syn24
+    cfg = RegistrationConfig(
+        beta=1e-2, nt=4, interp_order=1, preconditioner="2LinvH0",
+        continuation=True, beta_init=1.0, beta_shrink=0.1)
+    res = register(m0, m1, cfg)
+    # levels 1.0 and 0.1... wait 1.0 > 5e-1 -> invA; 0.1, 0.01 -> 2LinvH0
+    assert res.counters.n_inv_a > 0
+    assert res.counters.n_inv_h0 > 0
+    assert len(res.beta_levels) == 3
+    assert res.mismatch < 0.3
+
+
+def test_continuation_improves_over_single_level(syn24):
+    grid, m0, m1, _ = syn24
+    cfg_plain = RegistrationConfig(beta=1e-3, nt=4, interp_order=1)
+    cfg_cont = cfg_plain.replace(continuation=True, beta_init=1e-1,
+                                 beta_shrink=0.1)
+    res_plain = register(m0, m1, cfg_plain)
+    res_cont = register(m0, m1, cfg_cont)
+    assert res_cont.mismatch <= res_plain.mismatch * 1.5  # no regression
+    assert res_cont.converged or res_cont.status in ("maxiter", "linesearch")
+
+
+def test_target_mismatch_stops_early(syn24):
+    grid, m0, m1, _ = syn24
+    cfg = RegistrationConfig(
+        beta=1e-4, nt=4, interp_order=1, continuation=True, beta_init=1e-1,
+        beta_shrink=0.1, target_mismatch=0.5)
+    res = register(m0, m1, cfg)
+    assert len(res.beta_levels) < 4  # stopped before exhausting the schedule
+
+
+def test_report_format(syn24):
+    grid, m0, m1, _ = syn24
+    res = register(m0, m1, RegistrationConfig(beta=1e-2, nt=4))
+    text = res.report()
+    for key in ("GN iters", "mismatch", "runtimes"):
+        assert key in text

@@ -1,0 +1,209 @@
+"""Unit tests for the spectral operators (repro.grid.spectral)."""
+
+import numpy as np
+import pytest
+
+from repro.grid.grid import Grid3D
+from repro.grid.spectral import SpectralOps
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def ops16(grid16):
+    return SpectralOps(grid16)
+
+
+def test_fft_roundtrip(ops16, rng, grid16):
+    f = rng.standard_normal(grid16.shape)
+    assert np.allclose(ops16.inv(ops16.fwd(f)), f, atol=1e-12)
+
+
+def test_fft_forward_norm_dc_is_mean(ops16, grid16):
+    f = np.full(grid16.shape, 3.5)
+    F = ops16.fwd(f)
+    assert F[0, 0, 0] == pytest.approx(3.5)
+    assert np.max(np.abs(F.ravel()[1:])) < 1e-12
+
+
+def test_gradient_of_sine(ops16, grid16):
+    x1, x2, x3 = grid16.coords()
+    f = np.sin(x1) + np.sin(2 * x2) + np.cos(x3)
+    g = ops16.gradient(f * np.ones(grid16.shape))
+    assert np.allclose(g[0], np.cos(x1) * np.ones(grid16.shape), atol=1e-10)
+    assert np.allclose(g[1], 2 * np.cos(2 * x2) * np.ones(grid16.shape), atol=1e-10)
+    assert np.allclose(g[2], -np.sin(x3) * np.ones(grid16.shape), atol=1e-10)
+
+
+def test_divergence_matches_gradient_sum(ops16, grid16, rng):
+    v = rng.standard_normal((3,) + grid16.shape)
+    div = ops16.divergence(v)
+    ref = sum(ops16.gradient(v[i])[i] for i in range(3))
+    assert np.allclose(div, ref, atol=1e-10)
+
+
+def test_laplacian_eigenfunction(ops16, grid16):
+    x1, _, _ = grid16.coords()
+    f = np.sin(3 * x1) * np.ones(grid16.shape)
+    assert np.allclose(ops16.laplacian(f), -9 * f, atol=1e-9)
+
+
+def test_inverse_laplacian(ops16, grid16, rng):
+    f = ops16.remove_null_modes(rng.standard_normal(grid16.shape))
+    u = ops16.inverse_laplacian(f)
+    assert np.allclose(ops16.laplacian(u), f, atol=1e-9)
+    assert abs(u.mean()) < 1e-12
+
+
+@pytest.mark.parametrize("model", ["h1", "h2"])
+def test_reg_inverse_roundtrip(ops16, grid16, rng, model):
+    v = rng.standard_normal((3,) + grid16.shape)
+    beta = 0.37
+    av = ops16.apply_reg(v, beta, model=model)
+    back = ops16.apply_inv_reg(av, beta, model=model)
+    # identity on the range of A (zero mode and Nyquist planes annihilated)
+    v0 = ops16.remove_null_modes(v)
+    assert np.allclose(back, v0, atol=1e-9)
+
+
+def test_reg_h1_is_neg_laplacian(ops16, grid16, rng):
+    v = rng.standard_normal((3,) + grid16.shape)
+    av = ops16.apply_reg(v, 1.0, model="h1")
+    for c in range(3):
+        assert np.allclose(av[c], -ops16.laplacian(v[c]), atol=1e-9)
+
+
+def test_reg_energy_matches_gradient_norm(ops16, grid16):
+    """<A v, v> = int |grad v|^2 for the H1 seminorm."""
+    x1, x2, x3 = grid16.coords()
+    v = np.empty((3,) + grid16.shape)
+    v[0] = np.sin(x1) * np.cos(x2) * np.ones(grid16.shape)
+    v[1] = np.cos(2 * x3) * np.ones(grid16.shape)
+    v[2] = 0.0
+    av = ops16.apply_reg(v, 1.0)
+    energy = grid16.inner(av, v)
+    gnorm = sum(grid16.inner(ops16.gradient(v[c]), ops16.gradient(v[c]))
+                for c in range(3))
+    assert energy == pytest.approx(gnorm, rel=1e-10)
+
+
+def test_div_penalty_roundtrip(ops16, grid16, rng):
+    v = ops16.remove_null_modes(rng.standard_normal((3,) + grid16.shape))
+    beta, gamma = 0.2, 1.7
+    av = ops16.apply_reg(v, beta, div_penalty=gamma)
+    back = ops16.apply_inv_reg(av, beta, div_penalty=gamma)
+    assert np.allclose(back, v, atol=1e-9)
+
+
+def test_div_penalty_energy(ops16, grid16, rng):
+    """<(A + gamma*B) v, v> = int |grad v|^2 + gamma int (div v)^2."""
+    v = ops16.remove_null_modes(rng.standard_normal((3,) + grid16.shape))
+    gamma = 0.9
+    av = ops16.apply_reg(v, 1.0, div_penalty=gamma)
+    lhs = grid16.inner(av, v)
+    gnorm = sum(grid16.inner(ops16.gradient(v[c]), ops16.gradient(v[c]))
+                for c in range(3))
+    divnorm = grid16.inner(ops16.divergence(v), ops16.divergence(v))
+    assert lhs == pytest.approx(gnorm + gamma * divnorm, rel=1e-9)
+
+
+def test_leray_gives_divergence_free(ops16, grid16, rng):
+    v = rng.standard_normal((3,) + grid16.shape)
+    w = ops16.leray(v)
+    assert np.max(np.abs(ops16.divergence(w))) < 1e-9
+
+
+def test_leray_idempotent_and_projection(ops16, grid16, rng):
+    v = rng.standard_normal((3,) + grid16.shape)
+    w = ops16.leray(v)
+    assert np.allclose(ops16.leray(w), w, atol=1e-9)
+    # the removed part is a gradient field: orthogonal to w
+    assert grid16.inner(v - w, w) == pytest.approx(0.0, abs=1e-8)
+
+
+# --------------------------------------------------------------------------
+# restriction / prolongation (two-level preconditioner machinery)
+# --------------------------------------------------------------------------
+
+def test_restrict_preserves_low_modes(grid16):
+    coarse = grid16.coarsen(2)
+    ops = SpectralOps(grid16)
+    x1, x2, x3 = grid16.coords()
+    f = np.sin(2 * x1) * np.cos(3 * x2) + np.sin(x3)  # modes < 4 = coarse Nyq
+    f = f * np.ones(grid16.shape)
+    fc = ops.restrict(f, coarse)
+    xc1, xc2, xc3 = coarse.coords()
+    ref = (np.sin(2 * xc1) * np.cos(3 * xc2) + np.sin(xc3)) * np.ones(coarse.shape)
+    assert np.allclose(fc, ref, atol=1e-10)
+
+
+def test_prolong_then_restrict_is_identity(grid16, rng):
+    coarse = grid16.coarsen(2)
+    ops = SpectralOps(grid16)
+    ops_c = SpectralOps(coarse)
+    fc = rng.standard_normal(coarse.shape)
+    # remove coarse Nyquist content so the round trip is exact
+    fc = ops_c.lowpass(fc, coarse.coarsen(2).coarsen(1)) if False else fc
+    Ff = ops.prolong(fc, coarse)
+    fc2 = ops.restrict(Ff, coarse)
+    # prolongation drops coarse Nyquist modes; compare after removing them
+    Fc = ops_c.fwd(fc)
+    k1, k2, k3 = coarse.wavenumbers
+    mask = (np.abs(k1) < 4) & (np.abs(k2) < 4) & (np.abs(k3) < 4)
+    ref = ops_c.inv(Fc * mask)
+    assert np.allclose(fc2, ref, atol=1e-10)
+
+
+def test_lowpass_plus_highpass_identity(grid16, rng):
+    coarse = grid16.coarsen(2)
+    ops = SpectralOps(grid16)
+    f = rng.standard_normal(grid16.shape)
+    assert np.allclose(ops.lowpass(f, coarse) + ops.highpass(f, coarse), f,
+                       atol=1e-12)
+
+
+def test_lowpass_equals_prolong_restrict(grid16, rng):
+    coarse = grid16.coarsen(2)
+    ops = SpectralOps(grid16)
+    f = rng.standard_normal(grid16.shape)
+    lp = ops.lowpass(f, coarse)
+    pr = ops.prolong(ops.restrict(f, coarse), coarse)
+    assert np.allclose(lp, pr, atol=1e-10)
+
+
+def test_restrict_prolong_vector_fields(grid16, rng):
+    coarse = grid16.coarsen(2)
+    ops = SpectralOps(grid16)
+    v = rng.standard_normal((3,) + grid16.shape)
+    vc = ops.restrict(v, coarse)
+    assert vc.shape == (3,) + coarse.shape
+    vf = ops.prolong(vc, coarse)
+    assert vf.shape == (3,) + grid16.shape
+
+
+def test_restriction_adjoint_of_prolongation(grid16, rng):
+    """<R f, g>_c = <f, P g>_f up to the grid-volume scaling."""
+    coarse = grid16.coarsen(2)
+    ops = SpectralOps(grid16)
+    f = rng.standard_normal(grid16.shape)
+    g = rng.standard_normal(coarse.shape)
+    lhs = coarse.inner(ops.restrict(f, coarse), g)
+    rhs = grid16.inner(f, ops.prolong(g, coarse))
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-10)
+
+
+def test_anisotropic_grid_ops(grid_aniso, rng):
+    ops = SpectralOps(grid_aniso)
+    f = smooth_field(grid_aniso)
+    assert np.allclose(ops.inv(ops.fwd(f)), f, atol=1e-12)
+    coarse = grid_aniso.coarsen(2)
+    fc = ops.restrict(f, coarse)
+    assert fc.shape == coarse.shape
+
+
+def test_float32_dtype_preserved(grid16, rng):
+    ops = SpectralOps(grid16)
+    f = rng.standard_normal(grid16.shape).astype(np.float32)
+    assert ops.gradient(f).dtype == np.float32
+    assert ops.laplacian(f).dtype == np.float32
+    v = rng.standard_normal((3,) + grid16.shape).astype(np.float32)
+    assert ops.apply_inv_reg(v, 0.1).dtype == np.float32

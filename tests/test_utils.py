@@ -1,0 +1,117 @@
+"""Tests for utilities: config validation, timers, RNG, ASCII rendering."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.ascii_art import render_slice, side_by_side
+from repro.utils.config import RegistrationConfig, SolverTolerances
+from repro.utils.rng import default_rng
+from repro.utils.timers import TimerRegistry
+
+
+# -------------------------------------------------------------------- config
+
+def test_default_config_is_valid():
+    RegistrationConfig().validate()
+
+
+@pytest.mark.parametrize("field,value", [
+    ("regularization", "h3"),
+    ("interp_order", 2),
+    ("derivative", "fd2"),
+    ("preconditioner", "jacobi"),
+    ("nt", 0),
+    ("beta", -1.0),
+    ("dtype", "float16"),
+])
+def test_config_rejects_invalid(field, value):
+    cfg = RegistrationConfig().replace(**{field: value})
+    with pytest.raises(ValueError):
+        cfg.validate()
+
+
+def test_config_replace_is_pure():
+    a = RegistrationConfig(beta=1.0)
+    b = a.replace(beta=0.5)
+    assert a.beta == 1.0 and b.beta == 0.5
+    assert b.nt == a.nt
+
+
+def test_tolerances_defaults():
+    t = SolverTolerances()
+    assert t.grad_rtol == pytest.approx(5e-2)   # the paper's eps_N
+    assert t.krylov_forcing_cap == pytest.approx(0.5)
+
+
+# -------------------------------------------------------------------- timers
+
+def test_timer_accumulates():
+    reg = TimerRegistry()
+    with reg.region("a"):
+        time.sleep(0.01)
+    with reg.region("a"):
+        pass
+    assert reg.get("a") >= 0.01
+    assert reg.calls["a"] == 2
+    assert reg.get("missing") == 0.0
+
+
+def test_timer_merge_and_report():
+    a = TimerRegistry()
+    b = TimerRegistry()
+    a.add("x", 1.0)
+    b.add("x", 2.0)
+    b.add("y", 3.0)
+    a.merge(b)
+    assert a.get("x") == pytest.approx(3.0)
+    assert a.get("y") == pytest.approx(3.0)
+    assert "x" in a.report()
+    assert a.as_dict()["y"] == pytest.approx(3.0)
+
+
+# ----------------------------------------------------------------------- rng
+
+def test_default_rng_passthrough():
+    g = np.random.default_rng(0)
+    assert default_rng(g) is g
+    a = default_rng(42).random()
+    b = default_rng(42).random()
+    assert a == b
+
+
+# ----------------------------------------------------------------- ascii art
+
+def test_render_slice_shape():
+    f = np.linspace(0, 1, 32 * 32 * 32).reshape(32, 32, 32)
+    art = render_slice(f, width=24)
+    lines = art.split("\n")
+    assert len(lines) >= 2
+    assert all(len(line) == len(lines[0]) for line in lines)
+
+
+def test_render_slice_contrast():
+    f = np.zeros((16, 16, 16))
+    f[8:, :, :] = 1.0
+    art = render_slice(f, axis=2)
+    assert " " in art and "@" in art
+
+
+def test_render_slice_constant_field():
+    art = render_slice(np.full((8, 8, 8), 2.0))
+    assert set(art.replace("\n", "")) <= set(" .:-=+*#%@")
+
+
+def test_render_slice_rejects_2d():
+    with pytest.raises(ValueError):
+        render_slice(np.zeros((4, 4)))
+
+
+def test_side_by_side_alignment():
+    a = "ab\ncd"
+    b = "123\n456\n789"
+    out = side_by_side([a, b], ["L", "R"])
+    lines = out.split("\n")
+    assert len(lines) == 4  # header + 3 rows
+    assert "L" in lines[0] and "R" in lines[0]
